@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the workload layers (real wall-clock time):
+//! WebKit-sim page rendering, the IOSurface lock/unlock dance, and
+//! registry queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cycada::AppGl;
+use cycada_gles::{GlesRegistry, GlesVersion};
+use cycada_sim::Platform;
+use cycada_workloads::pages::WebPage;
+use cycada_workloads::webkit::WebView;
+
+fn bench_webkit_page_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("webkit_page_render_320x200");
+    for platform in [Platform::StockAndroid, Platform::CycadaIos] {
+        let app = AppGl::boot_with_display(platform, GlesVersion::V2, Some((320, 200)))
+            .expect("boot");
+        let mut view = WebView::new(&app).expect("view");
+        let page = WebPage::for_site("wikipedia.org");
+        group.bench_function(platform.label(), |b| {
+            b.iter(|| view.render_page(&app, black_box(&page)).expect("render"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_iosurface_lock_dance(c: &mut Criterion) {
+    let app = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V2, Some((64, 48)))
+        .expect("boot");
+    let device = app.cycada_device().expect("cycada");
+    let iosb = device.iosurface_bridge();
+    let tid = app.tid();
+    let surface = iosb
+        .create(tid, cycada_iosurface::SurfaceProps::bgra(32, 32))
+        .expect("surface");
+    let tex = device.bridge().gen_textures(tid, 1).expect("tex")[0];
+    iosb.tex_image_io_surface(tid, surface.id(), tex)
+        .expect("bind");
+    c.bench_function("iosurface_lock_unlock_dance", |b| {
+        b.iter(|| {
+            iosb.lock(tid, &surface).expect("lock");
+            iosb.unlock(tid, &surface).expect("unlock");
+        })
+    });
+}
+
+fn bench_registry_queries(c: &mut Criterion) {
+    c.bench_function("registry_table1", |b| {
+        b.iter(|| black_box(GlesRegistry::global().table1()))
+    });
+    c.bench_function("registry_ios_entry_points", |b| {
+        b.iter(|| black_box(GlesRegistry::global().ios_entry_points().len()))
+    });
+    c.bench_function("table2_classification", |b| {
+        b.iter(|| black_box(cycada::Table2::compute()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_webkit_page_render,
+    bench_iosurface_lock_dance,
+    bench_registry_queries,
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates **Figure 10**: PassMark — average GLES time per call per
+//! function (top 14 by total time), measured on Cycada iOS.
+
+use cycada_bench::{fmt_us, print_row, rule};
+use cycada_workloads::passmark::run_suite_with_stats;
+
+fn main() {
+    let (_scores, stats) = run_suite_with_stats(None, 8).expect("passmark suite");
+    println!("Figure 10: PassMark — average time per call (top 14 by total time)");
+    rule(64);
+    let widths = [36, 12, 8];
+    print_row(&["Function".into(), "avg (us)".into(), "calls".into()], &widths);
+    rule(64);
+    for share in stats.top_n(14) {
+        print_row(
+            &[
+                share.name.clone(),
+                fmt_us(share.record.avg_ns()),
+                share.record.calls.to_string(),
+            ],
+            &widths,
+        );
+    }
+    rule(64);
+    println!(
+        "Paper shape: present-path functions (aegl_bridge_draw_fbo_tex, \
+         eglSwapBuffers, aegl_bridge_copy_tex_buf) average ~1-2ms; glClear \
+         ~1-2ms; glDrawArrays tens of us; matrix/state calls ~2us."
+    );
+}

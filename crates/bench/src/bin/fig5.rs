@@ -1,0 +1,83 @@
+//! Regenerates **Figure 5**: SunSpider benchmarks, normalized overhead per
+//! category (lower is better), for Cycada iOS / Cycada Android / iOS, each
+//! normalized to stock Android, plus iOS with JavaScript JIT disabled
+//! normalized to iOS.
+
+use cycada_bench::{fmt_ratio, print_row, rule};
+use cycada_sim::Platform;
+use cycada_workloads::browser::Browser;
+use cycada_workloads::js::JsCategory;
+
+fn main() {
+    // Native panels; this is the headline run.
+    let mut android = Browser::launch(Platform::StockAndroid).expect("android browser");
+    let android_run = android.run_sunspider(None).expect("android run");
+
+    let mut cycada_ios = Browser::launch(Platform::CycadaIos).expect("cycada ios browser");
+    let cycada_ios_run = cycada_ios.run_sunspider(None).expect("cycada ios run");
+
+    let mut cycada_android =
+        Browser::launch(Platform::CycadaAndroid).expect("cycada android browser");
+    let cycada_android_run = cycada_android.run_sunspider(None).expect("cycada android run");
+
+    let mut ios = Browser::launch(Platform::NativeIos).expect("ios browser");
+    let ios_run = ios.run_sunspider(None).expect("ios run");
+
+    let mut ios_nojit = Browser::launch(Platform::NativeIos).expect("ios browser");
+    let ios_nojit_run = ios_nojit.run_sunspider(Some(false)).expect("ios nojit run");
+
+    let widths = [14, 12, 16, 8, 18];
+    println!(
+        "Figure 5: SunSpider normalized overhead (lower is better; baseline = Android browser on Android)"
+    );
+    rule(78);
+    print_row(
+        &[
+            "Test".into(),
+            "Cycada iOS".into(),
+            "Cycada Android".into(),
+            "iOS".into(),
+            "iOS (JIT off)/iOS".into(),
+        ],
+        &widths,
+    );
+    rule(78);
+
+    let lookup = |run: &cycada_workloads::browser::SunspiderRun, c: JsCategory| -> f64 {
+        run.rows
+            .iter()
+            .find(|(cat, _)| *cat == c)
+            .map(|(_, ns)| *ns as f64)
+            .expect("category present")
+    };
+
+    for category in JsCategory::ALL {
+        let base = lookup(&android_run, category);
+        print_row(
+            &[
+                category.label().into(),
+                fmt_ratio(lookup(&cycada_ios_run, category) / base),
+                fmt_ratio(lookup(&cycada_android_run, category) / base),
+                fmt_ratio(lookup(&ios_run, category) / base),
+                fmt_ratio(lookup(&ios_nojit_run, category) / lookup(&ios_run, category)),
+            ],
+            &widths,
+        );
+    }
+    let base = android_run.total as f64;
+    print_row(
+        &[
+            "Total".into(),
+            fmt_ratio(cycada_ios_run.total as f64 / base),
+            fmt_ratio(cycada_android_run.total as f64 / base),
+            fmt_ratio(ios_run.total as f64 / base),
+            fmt_ratio(ios_nojit_run.total as f64 / ios_run.total as f64),
+        ],
+        &widths,
+    );
+    rule(78);
+    println!(
+        "Paper shape: Cycada Android and iOS near 1x; Cycada iOS >4x overall \
+         (no JIT), >10x on access/bitops, regexp worst; iOS JIT-off ~4.2x vs iOS."
+    );
+}

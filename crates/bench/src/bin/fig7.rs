@@ -1,0 +1,30 @@
+//! Regenerates **Figure 7**: SunSpider — percentage of total GLES
+//! execution time per function (top 14), measured on Cycada iOS through
+//! the instrumented diplomat layer.
+
+use cycada_bench::{print_row, rule};
+use cycada_sim::Platform;
+use cycada_workloads::browser::Browser;
+
+fn main() {
+    let mut browser = Browser::launch(Platform::CycadaIos).expect("browser");
+    browser.run_sunspider(None).expect("sunspider run");
+    let stats = browser.app().gl_stats().expect("cycada stats");
+
+    println!("Figure 7: SunSpider — % of total GLES time per function (top 14)");
+    rule(56);
+    let widths = [36, 10];
+    print_row(&["Function".into(), "% total".into()], &widths);
+    rule(56);
+    for share in stats.top_n(14) {
+        print_row(
+            &[share.name.clone(), format!("{:.2}%", share.percent_of_total)],
+            &widths,
+        );
+    }
+    rule(56);
+    println!(
+        "Paper shape: glFlush, aegl_bridge_draw_fbo_tex and eglSwapBuffers \
+         lead; ~40% of time in EAGL-implementation (aegl_*) functions."
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Figure 8**: PassMark — percentage of total GLES time per
+//! function (top 14), measured on Cycada iOS.
+
+use cycada_bench::{print_row, rule};
+use cycada_workloads::passmark::run_suite_with_stats;
+
+fn main() {
+    let (_scores, stats) = run_suite_with_stats(None, 8).expect("passmark suite");
+    println!("Figure 8: PassMark — % of total GLES time per function (top 14)");
+    rule(56);
+    let widths = [36, 10];
+    print_row(&["Function".into(), "% total".into()], &widths);
+    rule(56);
+    for share in stats.top_n(14) {
+        print_row(
+            &[share.name.clone(), format!("{:.2}%", share.percent_of_total)],
+            &widths,
+        );
+    }
+    rule(56);
+    println!(
+        "Paper shape: glDrawArrays and glClear lead; aegl_bridge_draw_fbo_tex \
+         and eglSwapBuffers (the present path) consume a large share; matrix \
+         and client-state setters appear with tiny shares."
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates the §9 **functionality** experiments: Safari on Cycada
+//! browsing the top-30 US sites (compared against the reference rendering)
+//! and the Acid-style conformance test (score + pixel-for-pixel check).
+
+use cycada_bench::rule;
+use cycada_sim::Platform;
+use cycada_workloads::browser::Browser;
+use cycada_workloads::pages::TOP_30_SITES;
+
+fn main() {
+    println!("Functionality: Safari (iOS app) on Cycada vs reference rendering");
+    rule(66);
+
+    let mut reference = Browser::launch(Platform::StockAndroid).expect("reference browser");
+    let mut cycada = Browser::launch(Platform::CycadaIos).expect("cycada browser");
+
+    let mut matched = 0;
+    for &site in TOP_30_SITES.iter() {
+        let ref_hash = reference.browse(site).expect("reference render");
+        let cyc_hash = cycada.browse(site).expect("cycada render");
+        let ok = ref_hash == cyc_hash;
+        matched += usize::from(ok);
+        println!(
+            "  {:<22} {}",
+            site,
+            if ok { "rendered correctly" } else { "MISMATCH" }
+        );
+    }
+    rule(66);
+    println!("Top-30 sites rendered correctly: {matched}/30 (paper: 30/30)");
+
+    let (ref_score, ref_hash) = reference.run_acid3().expect("reference acid3");
+    let (score, hash) = cycada.run_acid3().expect("cycada acid3");
+    println!(
+        "Acid3: score {score}/100 (reference {ref_score}/100), pixel-for-pixel: {}",
+        if hash == ref_hash { "PASS" } else { "FAIL" }
+    );
+    println!("Paper: score 100/100, final page pixel-for-pixel identical.");
+}

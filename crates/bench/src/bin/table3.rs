@@ -1,0 +1,44 @@
+//! Regenerates **Table 3**: kernel-level / ABI micro-benchmarks.
+
+use cycada_bench::{fmt_ns, print_row, rule};
+use cycada_workloads::lmbench::Table3;
+
+fn main() {
+    let t = Table3::measure();
+    println!("Table 3: Kernel-level / ABI Micro-Benchmarks");
+    rule(62);
+    println!("Null Syscall");
+    let widths = [20, 12, 12];
+    print_row(
+        &["System".into(), "Measured".into(), "Paper".into()],
+        &widths,
+    );
+    rule(62);
+    let paper_null = [225u64, 244, 305, 575];
+    for (row, paper) in t.null_syscall.iter().zip(paper_null) {
+        print_row(
+            &[
+                row.platform.label().into(),
+                fmt_ns(row.ns),
+                fmt_ns(paper),
+            ],
+            &widths,
+        );
+    }
+    rule(62);
+    println!("Diplomatic Calls (Cycada)");
+    print_row(
+        &["Function".into(), "Measured".into(), "Paper".into()],
+        &widths,
+    );
+    rule(62);
+    for (label, measured, paper) in [
+        ("Standard Function", t.calls.standard_function_ns, 9),
+        ("Diplomat", t.calls.diplomat_ns, 816),
+        ("Diplomat + Pre/Post", t.calls.diplomat_pre_post_ns, 828),
+        ("Diplomat + GL Pre/Post", t.calls.diplomat_gl_pre_post_ns, 933),
+    ] {
+        print_row(&[label.into(), fmt_ns(measured), fmt_ns(paper)], &widths);
+    }
+    rule(62);
+}

@@ -1,0 +1,121 @@
+//! A Grand Central Dispatch simulation (§7).
+//!
+//! "Apple's Grand Central Dispatch (GCD) is used heavily and relies on
+//! [any-thread context use] to asynchronously dispatch GLES jobs such as
+//! texture loading or off-screen rendering. Each thread in the system has
+//! its own context, and implicitly takes on the GLES and EAGL context of
+//! the thread that submitted the asynchronous job."
+//!
+//! [`DispatchQueue`] reproduces that contract over the Cycada stack: a job
+//! dispatched from a submitting thread runs on a pooled worker thread that
+//! *implicitly adopts the submitter's current EAGLContext* — which, on
+//! Cycada, triggers thread impersonation and connection-TLS migration
+//! under the hood.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cycada_kernel::{Kernel, Persona, SimTid};
+
+use crate::eagl::Eagl;
+use crate::process::CycadaDevice;
+use crate::Result;
+
+/// A GCD-style dispatch queue bound to one Cycada iOS process.
+pub struct DispatchQueue {
+    label: String,
+    kernel: Arc<Kernel>,
+    eagl: Arc<Eagl>,
+    group_member: SimTid,
+    workers: Mutex<Vec<SimTid>>,
+}
+
+impl DispatchQueue {
+    /// Creates a queue for the device's iOS process.
+    pub fn new(device: &CycadaDevice, label: impl Into<String>) -> Self {
+        DispatchQueue {
+            label: label.into(),
+            kernel: device.kernel().clone(),
+            eagl: device.eagl().clone(),
+            group_member: device.main_tid(),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The queue's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of pooled worker threads currently idle.
+    pub fn idle_workers(&self) -> usize {
+        self.workers.lock().len()
+    }
+
+    fn take_worker(&self) -> Result<SimTid> {
+        if let Some(worker) = self.workers.lock().pop() {
+            return Ok(worker);
+        }
+        Ok(self.kernel.spawn_thread(self.group_member, Persona::Ios)?)
+    }
+
+    fn return_worker(&self, worker: SimTid) {
+        self.workers.lock().push(worker);
+    }
+
+    /// Dispatches a job from `submitter` and waits for its result (GCD's
+    /// `dispatch_sync`). The worker thread implicitly takes on the
+    /// submitter's current EAGLContext for the duration of the job, then
+    /// releases it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the context adoption fails (dead threads).
+    pub fn dispatch_sync<R>(
+        &self,
+        submitter: SimTid,
+        job: impl FnOnce(SimTid) -> R,
+    ) -> Result<R> {
+        let worker = self.take_worker()?;
+        let adopted = self.eagl.current_context(submitter);
+        if let Some(ctx) = adopted {
+            // The implicit adoption: on Cycada this runs thread
+            // impersonation + connection-TLS migration (§7.1, §8.1.1).
+            self.eagl.set_current_context(worker, Some(ctx))?;
+        }
+        let result = job(worker);
+        if adopted.is_some() {
+            self.eagl.set_current_context(worker, None)?;
+        }
+        self.return_worker(worker);
+        Ok(result)
+    }
+
+    /// Dispatches several independent jobs (GCD's `dispatch_apply`),
+    /// returning their results in order. Each job sees its own worker
+    /// thread with the submitter's context adopted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered.
+    pub fn dispatch_apply<R>(
+        &self,
+        submitter: SimTid,
+        jobs: Vec<Box<dyn FnOnce(SimTid) -> R + Send>>,
+    ) -> Result<Vec<R>> {
+        jobs.into_iter()
+            .map(|job| self.dispatch_sync(submitter, job))
+            .collect()
+    }
+}
+
+impl fmt::Debug for DispatchQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DispatchQueue")
+            .field("label", &self.label)
+            .field("idle_workers", &self.idle_workers())
+            .finish()
+    }
+}

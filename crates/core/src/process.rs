@@ -1,0 +1,437 @@
+//! Device/process assembly for the four evaluation platforms.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cycada_diplomat::DiplomatEngine;
+use cycada_egl::loadout::{register_android_graphics, LIBEGL};
+use cycada_egl::AndroidEgl;
+use cycada_gpu::GpuDevice;
+use cycada_gralloc::{GraphicBufferAllocator, GrallocDriver, SurfaceFlinger};
+use cycada_iosurface::{CoreSurfaceService, IOSurfaceApi};
+use cycada_kernel::{Kernel, Persona, SimTid};
+use cycada_linker::DynamicLinker;
+use cycada_sim::Platform;
+
+use crate::bridge::GlesBridge;
+use crate::eagl::Eagl;
+use crate::egl_bridge::{register_bridge_libraries, EglBridge};
+use crate::error::CycadaError;
+use crate::iosurface_bridge::IoSurfaceBridge;
+use crate::native_ios::{register_ios_display, register_ios_graphics, NativeIosStack};
+use crate::Result;
+
+/// Well-known iOS TLS slots reserved by Apple graphics libraries, migrated
+/// during impersonation (§7.1: "We also migrate well-known iOS TLS slots
+/// used by Apple graphics libraries").
+pub const APPLE_GRAPHICS_TLS_SLOTS: &[usize] = &[5, 6, 7];
+
+/// A booted Cycada device (the paper's Nexus 7 running the modified
+/// Android) hosting an iOS process: the complete graphics compatibility
+/// architecture of Figure 3.
+pub struct CycadaDevice {
+    kernel: Arc<Kernel>,
+    gpu: Arc<GpuDevice>,
+    linker: Arc<DynamicLinker>,
+    flinger: Arc<SurfaceFlinger>,
+    gralloc: Arc<GrallocDriver>,
+    coresurface: Arc<CoreSurfaceService>,
+    engine: Arc<DiplomatEngine>,
+    egl: Arc<AndroidEgl>,
+    bridge: Arc<GlesBridge>,
+    egl_bridge: Arc<EglBridge>,
+    iosurface_bridge: Arc<IoSurfaceBridge>,
+    eagl: Arc<Eagl>,
+    main_tid: SimTid,
+}
+
+impl CycadaDevice {
+    /// Boots the device and starts an iOS process on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError::Kernel`] if process creation fails (should
+    /// not happen on a Cycada kernel).
+    pub fn boot() -> Result<Self> {
+        Self::boot_with_display(None)
+    }
+
+    /// Boots with an overridden display size (small displays keep tests
+    /// fast; benchmarks use the device's native panel).
+    ///
+    /// # Errors
+    ///
+    /// As [`CycadaDevice::boot`].
+    pub fn boot_with_display(display: Option<(u32, u32)>) -> Result<Self> {
+        let mut profile = cycada_sim::DeviceProfile::for_platform(Platform::CycadaIos);
+        if let Some((w, h)) = display {
+            profile.display_width = w;
+            profile.display_height = h;
+        }
+        let kernel = Arc::new(Kernel::with_profile(profile));
+        let gpu = Arc::new(GpuDevice::new(
+            kernel.clock().clone(),
+            kernel.profile().gpu.clone(),
+        ));
+        let flinger = Arc::new(SurfaceFlinger::new(kernel.display().clone(), gpu.clone()));
+        let gralloc = GrallocDriver::new();
+        kernel.register_driver(gralloc.clone());
+        // LinuxCoreSurface: the reverse-engineered IOCoreSurface
+        // reimplementation inside the Android kernel (§6).
+        let coresurface = CoreSurfaceService::new();
+        kernel.register_service(coresurface.clone());
+
+        let linker = Arc::new(DynamicLinker::new(kernel.clock().clone()));
+        register_android_graphics(&linker, &kernel, &gpu, &flinger, &gralloc);
+        register_bridge_libraries(&linker);
+
+        let egl = linker
+            .dlopen(LIBEGL)
+            .map_err(CycadaError::from)?
+            .state::<AndroidEgl>()
+            .ok_or_else(|| CycadaError::Egl("libEGL has wrong state type".into()))?;
+
+        let engine = DiplomatEngine::new(kernel.clone(), linker.clone());
+        for &slot in APPLE_GRAPHICS_TLS_SLOTS {
+            engine.graphics_tls().register_well_known(Persona::Ios, slot);
+        }
+
+        let bridge = Arc::new(GlesBridge::new(engine.clone(), egl.clone()));
+        let egl_bridge = Arc::new(EglBridge::new(engine.clone(), egl.clone()));
+        let iosurface_api = Arc::new(IOSurfaceApi::new(kernel.clone()));
+        let iosurface_bridge = Arc::new(IoSurfaceBridge::new(
+            engine.clone(),
+            egl.clone(),
+            iosurface_api,
+            GraphicBufferAllocator::new(kernel.clone(), gralloc.clone()),
+        ));
+        let hook_target = iosurface_bridge.clone();
+        bridge.set_delete_textures_hook(move |names| hook_target.drop_texture_associations(names));
+
+        let display = kernel.display();
+        let eagl = Arc::new(Eagl::new(
+            egl.clone(),
+            bridge.clone(),
+            egl_bridge.clone(),
+            iosurface_bridge.clone(),
+            (display.width(), display.height()),
+        ));
+
+        let main_tid = kernel.spawn_process_main(Persona::Ios)?;
+        Ok(CycadaDevice {
+            kernel,
+            gpu,
+            linker,
+            flinger,
+            gralloc,
+            coresurface,
+            engine,
+            egl,
+            bridge,
+            egl_bridge,
+            iosurface_bridge,
+            eagl,
+            main_tid,
+        })
+    }
+
+    /// The simulated kernel.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The GPU device.
+    pub fn gpu(&self) -> &Arc<GpuDevice> {
+        &self.gpu
+    }
+
+    /// The DLR-enabled dynamic linker.
+    pub fn linker(&self) -> &Arc<DynamicLinker> {
+        &self.linker
+    }
+
+    /// The diplomat engine (stats, impersonation).
+    pub fn engine(&self) -> &Arc<DiplomatEngine> {
+        &self.engine
+    }
+
+    /// The diplomatic GLES library (iOS GLES API surface).
+    pub fn bridge(&self) -> &Arc<GlesBridge> {
+        &self.bridge
+    }
+
+    /// libEGLbridge.
+    pub fn egl_bridge(&self) -> &Arc<EglBridge> {
+        &self.egl_bridge
+    }
+
+    /// The IOSurface bridge.
+    pub fn iosurface_bridge(&self) -> &Arc<IoSurfaceBridge> {
+        &self.iosurface_bridge
+    }
+
+    /// The EAGL implementation.
+    pub fn eagl(&self) -> &Arc<Eagl> {
+        &self.eagl
+    }
+
+    /// The open-source Android EGL front.
+    pub fn egl(&self) -> &Arc<AndroidEgl> {
+        &self.egl
+    }
+
+    /// The SurfaceFlinger compositor.
+    pub fn flinger(&self) -> &Arc<SurfaceFlinger> {
+        &self.flinger
+    }
+
+    /// The gralloc driver (leak checks).
+    pub fn gralloc(&self) -> &Arc<GrallocDriver> {
+        &self.gralloc
+    }
+
+    /// The LinuxCoreSurface kernel module.
+    pub fn coresurface(&self) -> &Arc<CoreSurfaceService> {
+        &self.coresurface
+    }
+
+    /// The iOS process's main thread.
+    pub fn main_tid(&self) -> SimTid {
+        self.main_tid
+    }
+
+    /// Spawns another iOS thread in the app's thread group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError::Kernel`] if the group leader exited.
+    pub fn spawn_ios_thread(&self) -> Result<SimTid> {
+        Ok(self.kernel.spawn_thread(self.main_tid, Persona::Ios)?)
+    }
+}
+
+impl fmt::Debug for CycadaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CycadaDevice")
+            .field("kernel", &self.kernel)
+            .finish()
+    }
+}
+
+/// A booted Android device (stock or Cycada kernel) hosting an Android
+/// process using the normal EGL/GLES stack.
+pub struct AndroidDevice {
+    kernel: Arc<Kernel>,
+    gpu: Arc<GpuDevice>,
+    linker: Arc<DynamicLinker>,
+    flinger: Arc<SurfaceFlinger>,
+    gralloc: Arc<GrallocDriver>,
+    egl: Arc<AndroidEgl>,
+    main_tid: SimTid,
+}
+
+impl AndroidDevice {
+    /// Boots an Android device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError::Egl`] if the stack cannot initialize, or
+    /// [`CycadaError::UnsupportedPlatform`] for non-Android platforms.
+    pub fn boot(platform: Platform) -> Result<Self> {
+        Self::boot_with_display(platform, None)
+    }
+
+    /// Boots with an overridden display size.
+    ///
+    /// # Errors
+    ///
+    /// As [`AndroidDevice::boot`].
+    pub fn boot_with_display(platform: Platform, display: Option<(u32, u32)>) -> Result<Self> {
+        if !matches!(platform, Platform::StockAndroid | Platform::CycadaAndroid) {
+            return Err(CycadaError::UnsupportedPlatform(format!(
+                "AndroidDevice cannot boot {platform:?}"
+            )));
+        }
+        let mut profile = cycada_sim::DeviceProfile::for_platform(platform);
+        if let Some((w, h)) = display {
+            profile.display_width = w;
+            profile.display_height = h;
+        }
+        let kernel = Arc::new(Kernel::with_profile(profile));
+        let gpu = Arc::new(GpuDevice::new(
+            kernel.clock().clone(),
+            kernel.profile().gpu.clone(),
+        ));
+        let flinger = Arc::new(SurfaceFlinger::new(kernel.display().clone(), gpu.clone()));
+        let gralloc = GrallocDriver::new();
+        kernel.register_driver(gralloc.clone());
+        let linker = Arc::new(DynamicLinker::new(kernel.clock().clone()));
+        register_android_graphics(&linker, &kernel, &gpu, &flinger, &gralloc);
+        let egl = linker
+            .dlopen(LIBEGL)
+            .map_err(CycadaError::from)?
+            .state::<AndroidEgl>()
+            .ok_or_else(|| CycadaError::Egl("libEGL has wrong state type".into()))?;
+        let main_tid = kernel.spawn_process_main(Persona::Android)?;
+        egl.initialize(main_tid)?;
+        Ok(AndroidDevice {
+            kernel,
+            gpu,
+            linker,
+            flinger,
+            gralloc,
+            egl,
+            main_tid,
+        })
+    }
+
+    /// The simulated kernel.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The GPU device.
+    pub fn gpu(&self) -> &Arc<GpuDevice> {
+        &self.gpu
+    }
+
+    /// The dynamic linker.
+    pub fn linker(&self) -> &Arc<DynamicLinker> {
+        &self.linker
+    }
+
+    /// The Android EGL front.
+    pub fn egl(&self) -> &Arc<AndroidEgl> {
+        &self.egl
+    }
+
+    /// The SurfaceFlinger compositor.
+    pub fn flinger(&self) -> &Arc<SurfaceFlinger> {
+        &self.flinger
+    }
+
+    /// The gralloc driver.
+    pub fn gralloc(&self) -> &Arc<GrallocDriver> {
+        &self.gralloc
+    }
+
+    /// The app's main thread.
+    pub fn main_tid(&self) -> SimTid {
+        self.main_tid
+    }
+
+    /// Spawns another Android thread in the app's thread group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError::Kernel`] if the group leader exited.
+    pub fn spawn_thread(&self) -> Result<SimTid> {
+        Ok(self.kernel.spawn_thread(self.main_tid, Persona::Android)?)
+    }
+}
+
+impl fmt::Debug for AndroidDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AndroidDevice")
+            .field("kernel", &self.kernel)
+            .finish()
+    }
+}
+
+/// A booted iPad mini running the iOS app natively.
+pub struct IosDevice {
+    kernel: Arc<Kernel>,
+    gpu: Arc<GpuDevice>,
+    linker: Arc<DynamicLinker>,
+    stack: Arc<NativeIosStack>,
+    main_tid: SimTid,
+}
+
+impl IosDevice {
+    /// Boots the iPad.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError::Kernel`] if the stack cannot initialize.
+    pub fn boot() -> Result<Self> {
+        Self::boot_with_display(None)
+    }
+
+    /// Boots with an overridden display size.
+    ///
+    /// # Errors
+    ///
+    /// As [`IosDevice::boot`].
+    pub fn boot_with_display(display: Option<(u32, u32)>) -> Result<Self> {
+        let mut profile = cycada_sim::DeviceProfile::for_platform(Platform::NativeIos);
+        if let Some((w, h)) = display {
+            profile.display_width = w;
+            profile.display_height = h;
+        }
+        let kernel = Arc::new(Kernel::with_profile(profile));
+        let gpu = Arc::new(GpuDevice::new(
+            kernel.clock().clone(),
+            kernel.profile().gpu.clone(),
+        ));
+        let coresurface = CoreSurfaceService::new();
+        kernel.register_service(coresurface.clone());
+        register_ios_display(&kernel, &gpu, &coresurface);
+        let linker = Arc::new(DynamicLinker::new(kernel.clock().clone()));
+        register_ios_graphics(&linker, &gpu);
+        let stack = Arc::new(NativeIosStack::new(
+            kernel.clone(),
+            &linker,
+            coresurface,
+        )?);
+        let main_tid = kernel.spawn_process_main(Persona::Ios)?;
+        Ok(IosDevice {
+            kernel,
+            gpu,
+            linker,
+            stack,
+            main_tid,
+        })
+    }
+
+    /// The simulated kernel.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The GPU device.
+    pub fn gpu(&self) -> &Arc<GpuDevice> {
+        &self.gpu
+    }
+
+    /// The dynamic linker.
+    pub fn linker(&self) -> &Arc<DynamicLinker> {
+        &self.linker
+    }
+
+    /// The native iOS graphics stack.
+    pub fn stack(&self) -> &Arc<NativeIosStack> {
+        &self.stack
+    }
+
+    /// The app's main thread.
+    pub fn main_tid(&self) -> SimTid {
+        self.main_tid
+    }
+
+    /// Spawns another iOS thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError::Kernel`] if the group leader exited.
+    pub fn spawn_thread(&self) -> Result<SimTid> {
+        Ok(self.kernel.spawn_thread(self.main_tid, Persona::Ios)?)
+    }
+}
+
+impl fmt::Debug for IosDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IosDevice")
+            .field("kernel", &self.kernel)
+            .finish()
+    }
+}

@@ -1,0 +1,207 @@
+//! The Cycada iOS GLES support table (Table 2).
+//!
+//! Every one of the 344 iOS GLES entry points is classified by the
+//! diplomat usage pattern that supports it:
+//!
+//! | Type of support              | Functions |
+//! |------------------------------|-----------|
+//! | Direct diplomats             | 312       |
+//! | Indirect diplomats           | 15        |
+//! | Data-dependent diplomats     | 5         |
+//! | Multi-diplomats              | 2         |
+//! | Unimplemented (never called) | 10        |
+//! | **Total**                    | **344**   |
+
+use cycada_diplomat::DiplomatPattern;
+use cycada_gles::{EntryApi, EntryPoint, GlesRegistry, StdAvailability};
+
+/// How Cycada supports one iOS GLES entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SupportKind {
+    /// Bridged by a diplomat of the given pattern.
+    Diplomat(DiplomatPattern),
+    /// Not implemented in the prototype because no app ever calls it.
+    Unimplemented,
+}
+
+/// The 15 entry points supported by indirect diplomats: `APPLE_fence`
+/// mapped onto `NV_fence`, plus the multisample/map-range/discard/debug
+/// wrappers over equivalent Android extensions.
+pub const INDIRECT_FUNCTIONS: &[&str] = &[
+    // APPLE_fence -> NV_fence (8).
+    "glGenFencesAPPLE",
+    "glDeleteFencesAPPLE",
+    "glSetFenceAPPLE",
+    "glIsFenceAPPLE",
+    "glTestFenceAPPLE",
+    "glFinishFenceAPPLE",
+    "glTestObjectAPPLE",
+    "glFinishObjectAPPLE",
+    // APPLE_framebuffer_multisample -> EXT_multisampled_render_to_texture.
+    "glRenderbufferStorageMultisampleAPPLE",
+    "glResolveMultisampleFramebufferAPPLE",
+    // EXT_map_buffer_range -> OES_mapbuffer.
+    "glMapBufferRangeEXT",
+    "glFlushMappedBufferRangeEXT",
+    // EXT_discard_framebuffer -> driver hint.
+    "glDiscardFramebufferEXT",
+    // EXT_debug_label -> NV tooling shims.
+    "glLabelObjectEXT",
+    "glGetObjectLabelEXT",
+];
+
+/// The 2 entry points needing multi diplomats: the IOSurface binding
+/// functions, which compose GraphicBuffer allocation, EGLImage creation
+/// and texture/renderbuffer binding (§6).
+pub const MULTI_FUNCTIONS: &[&str] = &[
+    "glTexImageIOSurfaceAPPLE",
+    "glRenderbufferStorageIOSurfaceAPPLE",
+];
+
+/// The 10 entry points left unimplemented because they are never called.
+pub const UNIMPLEMENTED_FUNCTIONS: &[&str] = &[
+    "glShaderBinary",
+    "glReleaseShaderCompiler",
+    "glVertexArrayRangeAPPLE",
+    "glFlushVertexArrayRangeAPPLE",
+    "glVertexArrayParameteriAPPLE",
+    "glGetnUniformfvEXT",
+    "glGetnUniformivEXT",
+    "glMultiDrawArraysEXT",
+    "glMultiDrawElementsEXT",
+    "glCopyTextureLevelsAPPLE",
+];
+
+/// Classifies one iOS GLES entry point.
+///
+/// The 5 data-dependent entries are `glGetString` (Apple's proprietary
+/// parameter), `glPixelStorei` (the two extra `APPLE_row_bytes`
+/// parameters), and the three pixel read/write functions whose packing the
+/// extension controls — `glReadPixels` plus the v2 `glTexImage2D` /
+/// `glTexSubImage2D` (§4.1).
+pub fn classify(entry: &EntryPoint) -> SupportKind {
+    let name = entry.name.as_str();
+    if UNIMPLEMENTED_FUNCTIONS.contains(&name) {
+        return SupportKind::Unimplemented;
+    }
+    if MULTI_FUNCTIONS.contains(&name) {
+        return SupportKind::Diplomat(DiplomatPattern::Multi);
+    }
+    if INDIRECT_FUNCTIONS.contains(&name) {
+        return SupportKind::Diplomat(DiplomatPattern::Indirect);
+    }
+    let data_dependent = matches!(
+        (&entry.api, name),
+        (EntryApi::Standard(StdAvailability::Shared), "glGetString")
+            | (EntryApi::Standard(StdAvailability::Shared), "glPixelStorei")
+            | (EntryApi::Standard(StdAvailability::Shared), "glReadPixels")
+            | (EntryApi::Standard(StdAvailability::V2Only), "glTexImage2D")
+            | (EntryApi::Standard(StdAvailability::V2Only), "glTexSubImage2D")
+    );
+    if data_dependent {
+        SupportKind::Diplomat(DiplomatPattern::DataDependent)
+    } else {
+        SupportKind::Diplomat(DiplomatPattern::Direct)
+    }
+}
+
+/// The Table 2 row values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2 {
+    /// Direct diplomats.
+    pub direct: usize,
+    /// Indirect diplomats.
+    pub indirect: usize,
+    /// Data-dependent diplomats.
+    pub data_dependent: usize,
+    /// Multi-diplomats.
+    pub multi: usize,
+    /// Unimplemented (never called).
+    pub unimplemented: usize,
+}
+
+impl Table2 {
+    /// Computes the table by classifying the whole iOS GLES surface.
+    pub fn compute() -> Table2 {
+        let mut t = Table2 {
+            direct: 0,
+            indirect: 0,
+            data_dependent: 0,
+            multi: 0,
+            unimplemented: 0,
+        };
+        for entry in GlesRegistry::global().ios_entry_points() {
+            match classify(&entry) {
+                SupportKind::Diplomat(DiplomatPattern::Direct) => t.direct += 1,
+                SupportKind::Diplomat(DiplomatPattern::Indirect) => t.indirect += 1,
+                SupportKind::Diplomat(DiplomatPattern::DataDependent) => t.data_dependent += 1,
+                SupportKind::Diplomat(DiplomatPattern::Multi) => t.multi += 1,
+                SupportKind::Unimplemented => t.unimplemented += 1,
+            }
+        }
+        t
+    }
+
+    /// Sum of all rows.
+    pub fn total(&self) -> usize {
+        self.direct + self.indirect + self.data_dependent + self.multi + self.unimplemented
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_exactly() {
+        let t = Table2::compute();
+        assert_eq!(t.direct, 312, "direct diplomats");
+        assert_eq!(t.indirect, 15, "indirect diplomats");
+        assert_eq!(t.data_dependent, 5, "data-dependent diplomats");
+        assert_eq!(t.multi, 2, "multi diplomats");
+        assert_eq!(t.unimplemented, 10, "unimplemented");
+        assert_eq!(t.total(), 344);
+    }
+
+    #[test]
+    fn v1_tex_image_is_direct_but_v2_is_data_dependent() {
+        let entries = GlesRegistry::global().ios_entry_points();
+        let v1 = entries
+            .iter()
+            .find(|e| {
+                e.name == "glTexImage2D"
+                    && e.api == EntryApi::Standard(StdAvailability::V1Only)
+            })
+            .unwrap();
+        let v2 = entries
+            .iter()
+            .find(|e| {
+                e.name == "glTexImage2D"
+                    && e.api == EntryApi::Standard(StdAvailability::V2Only)
+            })
+            .unwrap();
+        assert_eq!(classify(v1), SupportKind::Diplomat(DiplomatPattern::Direct));
+        assert_eq!(
+            classify(v2),
+            SupportKind::Diplomat(DiplomatPattern::DataDependent)
+        );
+    }
+
+    #[test]
+    fn apple_fence_functions_are_indirect() {
+        let entries = GlesRegistry::global().ios_entry_points();
+        let fence_fns: Vec<_> = entries
+            .iter()
+            .filter(|e| matches!(&e.api, EntryApi::Extension(ext) if ext == "APPLE_fence"))
+            .collect();
+        assert_eq!(fence_fns.len(), 8);
+        for f in fence_fns {
+            assert_eq!(
+                classify(f),
+                SupportKind::Diplomat(DiplomatPattern::Indirect),
+                "{}",
+                f.name
+            );
+        }
+    }
+}

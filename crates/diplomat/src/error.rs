@@ -1,0 +1,53 @@
+//! Diplomat error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from diplomat calls and impersonation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DiplomatError {
+    /// The domestic library or symbol could not be resolved (step 1).
+    Resolution(String),
+    /// A persona switch failed (the platform lacks the ABI, or the thread
+    /// died mid-call).
+    PersonaSwitch(String),
+    /// TLS migration failed during impersonation.
+    TlsMigration(String),
+}
+
+impl fmt::Display for DiplomatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiplomatError::Resolution(msg) => write!(f, "diplomat symbol resolution failed: {msg}"),
+            DiplomatError::PersonaSwitch(msg) => write!(f, "persona switch failed: {msg}"),
+            DiplomatError::TlsMigration(msg) => write!(f, "TLS migration failed: {msg}"),
+        }
+    }
+}
+
+impl Error for DiplomatError {}
+
+impl From<cycada_linker::LinkerError> for DiplomatError {
+    fn from(e: cycada_linker::LinkerError) -> Self {
+        DiplomatError::Resolution(e.to_string())
+    }
+}
+
+impl From<cycada_kernel::KernelError> for DiplomatError {
+    fn from(e: cycada_kernel::KernelError) -> Self {
+        DiplomatError::PersonaSwitch(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DiplomatError::Resolution("libGLESv2.so".into())
+            .to_string()
+            .contains("libGLESv2.so"));
+    }
+}

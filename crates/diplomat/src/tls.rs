@@ -1,0 +1,117 @@
+//! Graphics-related TLS slot tracking.
+//!
+//! "Cycada thread impersonation allows selective migration of TLS data by
+//! modifying Android's libc to send out a notification whenever a new TLS
+//! key is reserved ... By registering for a hook that is invoked on every
+//! `pthread_key_create` and `pthread_key_delete` call, we can selectively
+//! monitor TLS slot allocation" (§7.1). The hooks are *gated*: they only
+//! record keys while a graphics diplomat's prelude has the gate open, so
+//! only graphics-relevant slots are migrated. Well-known iOS slots used by
+//! Apple graphics libraries are registered explicitly.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use cycada_kernel::TlsKeyEvent;
+use cycada_sim::Persona;
+
+/// The registry of graphics-related TLS slots, per persona.
+#[derive(Default)]
+pub struct GraphicsTls {
+    slots: Mutex<[BTreeSet<usize>; 2]>,
+}
+
+impl GraphicsTls {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a well-known slot (the iOS slots Apple graphics libraries
+    /// reserve; "since vendor graphics libraries, along with their TLS
+    /// slots, are opaque, we can assume that the TLS slots they reserve are
+    /// not used by any other subsystems").
+    pub fn register_well_known(&self, persona: Persona, slot: usize) {
+        self.slots.lock()[persona.index()].insert(slot);
+    }
+
+    /// Applies a (gate-approved) libc key event.
+    pub fn apply_event(&self, event: TlsKeyEvent) {
+        let key = event.key();
+        let mut slots = self.slots.lock();
+        match event {
+            TlsKeyEvent::Created(_) => {
+                slots[key.persona().index()].insert(key.slot());
+            }
+            TlsKeyEvent::Deleted(_) => {
+                slots[key.persona().index()].remove(&key.slot());
+            }
+        }
+    }
+
+    /// The tracked slots for a persona, in ascending order.
+    pub fn slots(&self, persona: Persona) -> Vec<usize> {
+        self.slots.lock()[persona.index()].iter().copied().collect()
+    }
+
+    /// Whether a slot is tracked.
+    pub fn contains(&self, persona: Persona, slot: usize) -> bool {
+        self.slots.lock()[persona.index()].contains(&slot)
+    }
+
+    /// Total tracked slots across personas.
+    pub fn len(&self) -> usize {
+        let slots = self.slots.lock();
+        slots[0].len() + slots[1].len()
+    }
+
+    /// Whether no slots are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for GraphicsTls {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let slots = self.slots.lock();
+        f.debug_struct("GraphicsTls")
+            .field("ios_slots", &slots[Persona::Ios.index()])
+            .field("android_slots", &slots[Persona::Android.index()])
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycada_kernel::TlsKey;
+
+    #[test]
+    fn well_known_and_events() {
+        let g = GraphicsTls::new();
+        assert!(g.is_empty());
+        g.register_well_known(Persona::Ios, 7);
+        assert!(g.contains(Persona::Ios, 7));
+        assert!(!g.contains(Persona::Android, 7));
+
+        // Simulate a gated create/delete. TlsKey construction is
+        // kernel-internal, so route through a real kernel.
+        let kernel = cycada_kernel::Kernel::for_platform(cycada_sim::Platform::CycadaIos);
+        let key: TlsKey = kernel.tls_key_create(Persona::Android);
+        g.apply_event(TlsKeyEvent::Created(key));
+        assert!(g.contains(Persona::Android, key.slot()));
+        assert_eq!(g.len(), 2);
+        g.apply_event(TlsKeyEvent::Deleted(key));
+        assert!(!g.contains(Persona::Android, key.slot()));
+    }
+
+    #[test]
+    fn slots_sorted() {
+        let g = GraphicsTls::new();
+        g.register_well_known(Persona::Ios, 9);
+        g.register_well_known(Persona::Ios, 4);
+        assert_eq!(g.slots(Persona::Ios), vec![4, 9]);
+    }
+}

@@ -1,0 +1,96 @@
+//! EGL error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the simulated EGL stack, named after the EGL error codes
+/// where one exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EglError {
+    /// `EGL_NOT_INITIALIZED`: `eglInitialize` has not succeeded.
+    NotInitialized,
+    /// `EGL_BAD_CONTEXT`: unknown context handle.
+    BadContext,
+    /// `EGL_BAD_SURFACE`: unknown surface handle.
+    BadSurface,
+    /// `EGL_BAD_ACCESS`: the Android thread rule — a context may only be
+    /// made current by its creating thread or by threads whose group
+    /// leader created it (§7).
+    BadAccess {
+        /// The thread that attempted the bind.
+        caller: u64,
+        /// The thread that created the context.
+        creator: u64,
+    },
+    /// `EGL_BAD_MATCH`: the per-process connection is locked to a
+    /// different GLES version (§8: "Only a single EGL connection to a
+    /// single GLES API version can be made per-process").
+    BadMatch {
+        /// The version the connection is locked to.
+        locked: cycada_gles::GlesVersion,
+        /// The version requested.
+        requested: cycada_gles::GlesVersion,
+    },
+    /// The vendor library refused a second process-wide connection.
+    ConnectionExists,
+    /// `EGL_BAD_PARAMETER`-style failure with detail.
+    BadParameter(String),
+    /// A lower layer failed.
+    Lower(String),
+}
+
+impl fmt::Display for EglError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EglError::NotInitialized => write!(f, "EGL_NOT_INITIALIZED: eglInitialize not called"),
+            EglError::BadContext => write!(f, "EGL_BAD_CONTEXT"),
+            EglError::BadSurface => write!(f, "EGL_BAD_SURFACE"),
+            EglError::BadAccess { caller, creator } => write!(
+                f,
+                "EGL_BAD_ACCESS: thread {caller} may not use a context created by thread {creator}"
+            ),
+            EglError::BadMatch { locked, requested } => write!(
+                f,
+                "EGL_BAD_MATCH: process connection locked to {locked}, requested {requested}"
+            ),
+            EglError::ConnectionExists => {
+                write!(f, "vendor EGL: a process-wide GLES connection already exists")
+            }
+            EglError::BadParameter(msg) => write!(f, "EGL_BAD_PARAMETER: {msg}"),
+            EglError::Lower(msg) => write!(f, "EGL lower-layer failure: {msg}"),
+        }
+    }
+}
+
+impl Error for EglError {}
+
+impl From<cycada_kernel::KernelError> for EglError {
+    fn from(e: cycada_kernel::KernelError) -> Self {
+        EglError::Lower(e.to_string())
+    }
+}
+
+impl From<cycada_linker::LinkerError> for EglError {
+    fn from(e: cycada_linker::LinkerError) -> Self {
+        EglError::Lower(e.to_string())
+    }
+}
+
+impl From<cycada_gralloc::GrallocError> for EglError {
+    fn from(e: cycada_gralloc::GrallocError) -> Self {
+        EglError::Lower(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_egl_code_names() {
+        assert!(EglError::NotInitialized.to_string().contains("EGL_NOT_INITIALIZED"));
+        let e = EglError::BadAccess { caller: 2, creator: 1 };
+        assert!(e.to_string().contains("EGL_BAD_ACCESS"));
+    }
+}

@@ -1,0 +1,131 @@
+//! The vendor (device-specific, proprietary) EGL library state.
+//!
+//! The real `libEGL_tegra.so` keeps its EGL-to-GLES connection "in a
+//! library-static global variable" and assumes "a single, process-wide EGL
+//! connection" (§8.1.1). One [`VendorEglState`] value is one loaded
+//! instance's statics — DLR replicas get a fresh one, which is exactly how
+//! Cycada bypasses the singleton restriction.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use cycada_gles::GlesVersion;
+
+use crate::error::EglError;
+use crate::Result;
+
+#[derive(Debug, Default)]
+struct ConnectionStatics {
+    /// Whether the process-wide connection has been made.
+    connected: bool,
+    /// The GLES version the connection is locked to (set by the first
+    /// context creation).
+    locked_version: Option<GlesVersion>,
+}
+
+/// Per-instance state of the vendor EGL library.
+pub struct VendorEglState {
+    statics: Mutex<ConnectionStatics>,
+}
+
+impl VendorEglState {
+    /// Fresh library statics (run by the library constructor).
+    pub fn new() -> Self {
+        VendorEglState {
+            statics: Mutex::new(ConnectionStatics::default()),
+        }
+    }
+
+    /// Establishes the process-wide EGL-to-GLES connection. Idempotent for
+    /// the same instance (re-initialization), but the restriction the
+    /// paper calls "seemingly arbitrary, but enforced by both vendor and
+    /// open source libraries" lives here: one connection per instance.
+    pub fn connect(&self) {
+        self.statics.lock().connected = true;
+    }
+
+    /// Whether this instance has a live connection.
+    pub fn is_connected(&self) -> bool {
+        self.statics.lock().connected
+    }
+
+    /// Validates a context creation against the instance's version lock:
+    /// the first context locks the connection's GLES version; any later
+    /// request for a different version is refused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EglError::NotInitialized`] before [`VendorEglState::connect`],
+    /// or [`EglError::BadMatch`] on a version conflict.
+    pub fn lock_version(&self, requested: GlesVersion) -> Result<()> {
+        let mut s = self.statics.lock();
+        if !s.connected {
+            return Err(EglError::NotInitialized);
+        }
+        match s.locked_version {
+            None => {
+                s.locked_version = Some(requested);
+                Ok(())
+            }
+            Some(locked) if locked == requested => Ok(()),
+            Some(locked) => Err(EglError::BadMatch { locked, requested }),
+        }
+    }
+
+    /// The version the connection is locked to, if any context exists.
+    pub fn locked_version(&self) -> Option<GlesVersion> {
+        self.statics.lock().locked_version
+    }
+}
+
+impl Default for VendorEglState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for VendorEglState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.statics.lock();
+        f.debug_struct("VendorEglState")
+            .field("connected", &s.connected)
+            .field("locked_version", &s.locked_version)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_lock_enforced_per_instance() {
+        let v = VendorEglState::new();
+        assert!(matches!(
+            v.lock_version(GlesVersion::V2),
+            Err(EglError::NotInitialized)
+        ));
+        v.connect();
+        assert!(v.is_connected());
+        v.lock_version(GlesVersion::V2).unwrap();
+        v.lock_version(GlesVersion::V2).unwrap();
+        assert_eq!(v.locked_version(), Some(GlesVersion::V2));
+        // The paper's §8 scenario: a v1 game context after WebKit's v2.
+        assert!(matches!(
+            v.lock_version(GlesVersion::V1),
+            Err(EglError::BadMatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fresh_instances_are_unlocked() {
+        let a = VendorEglState::new();
+        a.connect();
+        a.lock_version(GlesVersion::V2).unwrap();
+        // A DLR replica's fresh statics carry no lock.
+        let b = VendorEglState::new();
+        b.connect();
+        b.lock_version(GlesVersion::V1).unwrap();
+    }
+}

@@ -1,0 +1,787 @@
+//! The OpenGL ES function and extension registry.
+//!
+//! Table 1 of the paper breaks down the GLES implementations of the two
+//! platforms (iOS 6.1.2 on the iPad mini, Android 4.2.2 on the Tegra 3
+//! Nexus 7) against the Khronos registry:
+//!
+//! | OpenGL ES                    | iOS | Android | Khronos |
+//! |------------------------------|-----|---------|---------|
+//! | 1.0 standard functions       | 145 | 145     | 145     |
+//! | 2.0 standard functions       | 142 | 142     | 142     |
+//! | Extension functions          | 94  | 42      | 285     |
+//! | Common extension functions   | 27  | 27      | —       |
+//! | Extensions                   | 50  | 60      | 174     |
+//! | Extensions not in Android    | 33  | 0       | —       |
+//! | Extensions not in iOS        | 0   | 43      | —       |
+//!
+//! This module reproduces that population exactly. Standard function names
+//! are the real Khronos names; extension names are real where the paper (or
+//! the platforms) names them, and drawn from the Khronos registry otherwise
+//! (see DESIGN.md §6 for the documented approximations). The counting
+//! identity behind Table 2 also holds: 37 standard functions are shared
+//! between the v1 and v2 profiles, so the iOS GLES surface Cycada must
+//! bridge has `(145 + 142 − 37) + 94 = 344` entry points.
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+/// The GLES API version a context speaks (§2: versions "are not compatible
+/// with each other").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GlesVersion {
+    /// OpenGL ES 1.x (fixed function).
+    V1,
+    /// OpenGL ES 2.0 (shaders).
+    V2,
+}
+
+impl std::fmt::Display for GlesVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GlesVersion::V1 => write!(f, "OpenGL ES 1.1"),
+            GlesVersion::V2 => write!(f, "OpenGL ES 2.0"),
+        }
+    }
+}
+
+/// Which platform's GLES implementation (vendor library) is being queried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiFlavor {
+    /// Apple's GLES on iOS.
+    Ios,
+    /// The NVIDIA Tegra GLES on Android.
+    Android,
+}
+
+/// The availability of a standard entry point across GLES versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StdAvailability {
+    /// Exists only in the v1 profile.
+    V1Only,
+    /// Exists only in the v2 profile.
+    V2Only,
+    /// One shared implementation serves both profiles (the paper's "some
+    /// GLES v1 and v2 standard functions are the same" — exactly 37).
+    Shared,
+}
+
+/// One standard (non-extension) entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdFunction {
+    /// Function name (real Khronos name).
+    pub name: &'static str,
+    /// Profile availability.
+    pub availability: StdAvailability,
+}
+
+/// One GLES extension and the entry points it adds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extension {
+    /// Extension name (e.g. `GL_APPLE_fence` without the `GL_` prefix).
+    pub name: String,
+    /// Entry points the extension adds (may be empty — many extensions add
+    /// only enums or behaviour).
+    pub functions: Vec<String>,
+    /// Implemented by the iOS vendor library.
+    pub on_ios: bool,
+    /// Implemented by the Android (Tegra) vendor library.
+    pub on_android: bool,
+    /// Listed in the Khronos registry (Apple ships some unregistered
+    /// proprietary extensions).
+    pub in_khronos: bool,
+}
+
+// ---------------------------------------------------------------------
+// Standard functions
+// ---------------------------------------------------------------------
+
+/// The 37 standard functions whose single implementation is shared by the
+/// v1 and v2 profiles.
+pub const SHARED_CORE: &[&str] = &[
+    "glActiveTexture",
+    "glBindBuffer",
+    "glBindTexture",
+    "glBlendFunc",
+    "glBufferData",
+    "glBufferSubData",
+    "glClear",
+    "glClearColor",
+    "glClearDepthf",
+    "glClearStencil",
+    "glColorMask",
+    "glCompressedTexImage2D",
+    "glCompressedTexSubImage2D",
+    "glCopyTexImage2D",
+    "glCopyTexSubImage2D",
+    "glCullFace",
+    "glDeleteBuffers",
+    "glDeleteTextures",
+    "glDepthFunc",
+    "glDepthMask",
+    "glDepthRangef",
+    "glDrawArrays",
+    "glDrawElements",
+    "glFinish",
+    "glFlush",
+    "glFrontFace",
+    "glGenBuffers",
+    "glGenTextures",
+    "glGetError",
+    "glGetString",
+    "glLineWidth",
+    "glPixelStorei",
+    "glPolygonOffset",
+    "glReadPixels",
+    "glSampleCoverage",
+    "glScissor",
+    "glViewport",
+];
+
+/// The full OpenGL ES 1.1 Common profile: 145 functions.
+pub const V1_STANDARD: &[&str] = &[
+    "glActiveTexture", "glAlphaFunc", "glAlphaFuncx", "glBindBuffer", "glBindTexture",
+    "glBlendFunc", "glBufferData", "glBufferSubData", "glClear", "glClearColor",
+    "glClearColorx", "glClearDepthf", "glClearDepthx", "glClearStencil",
+    "glClientActiveTexture", "glClipPlanef", "glClipPlanex", "glColor4f", "glColor4ub",
+    "glColor4x", "glColorMask", "glColorPointer", "glCompressedTexImage2D",
+    "glCompressedTexSubImage2D", "glCopyTexImage2D", "glCopyTexSubImage2D", "glCullFace",
+    "glDeleteBuffers", "glDeleteTextures", "glDepthFunc", "glDepthMask", "glDepthRangef",
+    "glDepthRangex", "glDisable", "glDisableClientState", "glDrawArrays", "glDrawElements",
+    "glEnable", "glEnableClientState", "glFinish", "glFlush", "glFogf", "glFogfv", "glFogx",
+    "glFogxv", "glFrontFace", "glFrustumf", "glFrustumx", "glGenBuffers", "glGenTextures",
+    "glGetBooleanv", "glGetBufferParameteriv", "glGetClipPlanef", "glGetClipPlanex",
+    "glGetError", "glGetFixedv", "glGetFloatv", "glGetIntegerv", "glGetLightfv",
+    "glGetLightxv", "glGetMaterialfv", "glGetMaterialxv", "glGetPointerv", "glGetString",
+    "glGetTexEnvfv", "glGetTexEnviv", "glGetTexEnvxv", "glGetTexParameterfv",
+    "glGetTexParameteriv", "glGetTexParameterxv", "glHint", "glIsBuffer", "glIsEnabled",
+    "glIsTexture", "glLightf", "glLightfv", "glLightModelf", "glLightModelfv",
+    "glLightModelx", "glLightModelxv", "glLightx", "glLightxv", "glLineWidth",
+    "glLineWidthx", "glLoadIdentity", "glLoadMatrixf", "glLoadMatrixx", "glLogicOp",
+    "glMaterialf", "glMaterialfv", "glMaterialx", "glMaterialxv", "glMatrixMode",
+    "glMultMatrixf", "glMultMatrixx", "glMultiTexCoord4f", "glMultiTexCoord4x",
+    "glNormal3f", "glNormal3x", "glNormalPointer", "glOrthof", "glOrthox", "glPixelStorei",
+    "glPointParameterf", "glPointParameterfv", "glPointParameterx", "glPointParameterxv",
+    "glPointSize", "glPointSizePointerOES", "glPointSizex", "glPolygonOffset",
+    "glPolygonOffsetx", "glPopMatrix", "glPushMatrix", "glReadPixels", "glRotatef",
+    "glRotatex", "glSampleCoverage", "glSampleCoveragex", "glScalef", "glScalex",
+    "glScissor", "glShadeModel", "glStencilFunc", "glStencilMask", "glStencilOp",
+    "glTexCoordPointer", "glTexEnvf", "glTexEnvfv", "glTexEnvi", "glTexEnviv", "glTexEnvx",
+    "glTexEnvxv", "glTexImage2D", "glTexParameterf", "glTexParameterfv", "glTexParameteri",
+    "glTexParameteriv", "glTexParameterx", "glTexParameterxv", "glTexSubImage2D",
+    "glTranslatef", "glTranslatex", "glVertexPointer", "glViewport",
+];
+
+/// The full OpenGL ES 2.0 profile: 142 functions.
+pub const V2_STANDARD: &[&str] = &[
+    "glActiveTexture", "glAttachShader", "glBindAttribLocation", "glBindBuffer",
+    "glBindFramebuffer", "glBindRenderbuffer", "glBindTexture", "glBlendColor",
+    "glBlendEquation", "glBlendEquationSeparate", "glBlendFunc", "glBlendFuncSeparate",
+    "glBufferData", "glBufferSubData", "glCheckFramebufferStatus", "glClear",
+    "glClearColor", "glClearDepthf", "glClearStencil", "glColorMask", "glCompileShader",
+    "glCompressedTexImage2D", "glCompressedTexSubImage2D", "glCopyTexImage2D",
+    "glCopyTexSubImage2D", "glCreateProgram", "glCreateShader", "glCullFace",
+    "glDeleteBuffers", "glDeleteFramebuffers", "glDeleteProgram", "glDeleteRenderbuffers",
+    "glDeleteShader", "glDeleteTextures", "glDepthFunc", "glDepthMask", "glDepthRangef",
+    "glDetachShader", "glDisable", "glDisableVertexAttribArray", "glDrawArrays",
+    "glDrawElements", "glEnable", "glEnableVertexAttribArray", "glFinish", "glFlush",
+    "glFramebufferRenderbuffer", "glFramebufferTexture2D", "glFrontFace", "glGenBuffers",
+    "glGenerateMipmap", "glGenFramebuffers", "glGenRenderbuffers", "glGenTextures",
+    "glGetActiveAttrib", "glGetActiveUniform", "glGetAttachedShaders", "glGetAttribLocation",
+    "glGetBooleanv", "glGetBufferParameteriv", "glGetError", "glGetFloatv",
+    "glGetFramebufferAttachmentParameteriv", "glGetIntegerv", "glGetProgramiv",
+    "glGetProgramInfoLog", "glGetRenderbufferParameteriv", "glGetShaderiv",
+    "glGetShaderInfoLog", "glGetShaderPrecisionFormat", "glGetShaderSource", "glGetString",
+    "glGetTexParameterfv", "glGetTexParameteriv", "glGetUniformfv", "glGetUniformiv",
+    "glGetUniformLocation", "glGetVertexAttribfv", "glGetVertexAttribiv",
+    "glGetVertexAttribPointerv", "glHint", "glIsBuffer", "glIsEnabled", "glIsFramebuffer",
+    "glIsProgram", "glIsRenderbuffer", "glIsShader", "glIsTexture", "glLineWidth",
+    "glLinkProgram", "glPixelStorei", "glPolygonOffset", "glReadPixels",
+    "glReleaseShaderCompiler", "glRenderbufferStorage", "glSampleCoverage", "glScissor",
+    "glShaderBinary", "glShaderSource", "glStencilFunc", "glStencilFuncSeparate",
+    "glStencilMask", "glStencilMaskSeparate", "glStencilOp", "glStencilOpSeparate",
+    "glTexImage2D", "glTexParameterf", "glTexParameterfv", "glTexParameteri",
+    "glTexParameteriv", "glTexSubImage2D", "glUniform1f", "glUniform1fv", "glUniform1i",
+    "glUniform1iv", "glUniform2f", "glUniform2fv", "glUniform2i", "glUniform2iv",
+    "glUniform3f", "glUniform3fv", "glUniform3i", "glUniform3iv", "glUniform4f",
+    "glUniform4fv", "glUniform4i", "glUniform4iv", "glUniformMatrix2fv",
+    "glUniformMatrix3fv", "glUniformMatrix4fv", "glUseProgram", "glValidateProgram",
+    "glVertexAttrib1f", "glVertexAttrib1fv", "glVertexAttrib2f", "glVertexAttrib2fv",
+    "glVertexAttrib3f", "glVertexAttrib3fv", "glVertexAttrib4f", "glVertexAttrib4fv",
+    "glVertexAttribPointer", "glViewport",
+];
+
+// ---------------------------------------------------------------------
+// Extensions
+// ---------------------------------------------------------------------
+
+struct ExtDef {
+    name: &'static str,
+    functions: &'static [&'static str],
+    on_ios: bool,
+    on_android: bool,
+    in_khronos: bool,
+}
+
+const I: bool = true;
+const O: bool = false;
+
+/// Extensions implemented by at least one of the two platforms.
+/// 17 shared, 33 iOS-only, 43 Android-only (Table 1).
+const PLATFORM_EXTENSIONS: &[ExtDef] = &[
+    // ----- Shared by both platforms: 17 extensions, 27 functions -----
+    ExtDef { name: "OES_framebuffer_object", on_ios: I, on_android: I, in_khronos: I, functions: &[
+        "glIsRenderbufferOES", "glBindRenderbufferOES", "glDeleteRenderbuffersOES",
+        "glGenRenderbuffersOES", "glRenderbufferStorageOES", "glGetRenderbufferParameterivOES",
+        "glIsFramebufferOES", "glBindFramebufferOES", "glDeleteFramebuffersOES",
+        "glGenFramebuffersOES", "glCheckFramebufferStatusOES", "glFramebufferRenderbufferOES",
+        "glFramebufferTexture2DOES", "glGenerateMipmapOES",
+    ]},
+    ExtDef { name: "OES_mapbuffer", on_ios: I, on_android: I, in_khronos: I, functions: &[
+        "glMapBufferOES", "glUnmapBufferOES", "glGetBufferPointervOES",
+    ]},
+    ExtDef { name: "OES_EGL_image", on_ios: I, on_android: I, in_khronos: I, functions: &[
+        "glEGLImageTargetTexture2DOES", "glEGLImageTargetRenderbufferStorageOES",
+    ]},
+    ExtDef { name: "OES_blend_subtract", on_ios: I, on_android: I, in_khronos: I, functions: &[
+        "glBlendEquationOES",
+    ]},
+    ExtDef { name: "OES_query_matrix", on_ios: I, on_android: I, in_khronos: I, functions: &[
+        "glQueryMatrixxOES",
+    ]},
+    ExtDef { name: "OES_draw_texture", on_ios: I, on_android: I, in_khronos: I, functions: &[
+        "glDrawTexsOES", "glDrawTexiOES", "glDrawTexfOES",
+        "glDrawTexsvOES", "glDrawTexivOES", "glDrawTexfvOES",
+    ]},
+    ExtDef { name: "OES_point_sprite", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_texture_npot", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_depth24", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_rgb8_rgba8", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_stencil8", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_packed_depth_stencil", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_vertex_half_float", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_texture_mirrored_repeat", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_standard_derivatives", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_texture_filter_anisotropic", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_blend_minmax", on_ios: I, on_android: I, in_khronos: I, functions: &[] },
+
+    // ----- iOS only: 33 extensions, 67 functions -----
+    ExtDef { name: "APPLE_fence", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glGenFencesAPPLE", "glDeleteFencesAPPLE", "glSetFenceAPPLE", "glIsFenceAPPLE",
+        "glTestFenceAPPLE", "glFinishFenceAPPLE", "glTestObjectAPPLE", "glFinishObjectAPPLE",
+    ]},
+    ExtDef { name: "APPLE_sync", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glFenceSyncAPPLE", "glIsSyncAPPLE", "glDeleteSyncAPPLE", "glClientWaitSyncAPPLE",
+        "glWaitSyncAPPLE", "glGetInteger64vAPPLE", "glGetSyncivAPPLE",
+    ]},
+    ExtDef { name: "APPLE_framebuffer_multisample", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glRenderbufferStorageMultisampleAPPLE", "glResolveMultisampleFramebufferAPPLE",
+    ]},
+    ExtDef { name: "APPLE_copy_texture_levels", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glCopyTextureLevelsAPPLE",
+    ]},
+    // Stand-in names for Apple's private IOSurface<->GLES binding entry
+    // points (the two "multi diplomat" GLES functions; DESIGN.md §6).
+    ExtDef { name: "APPLE_io_surface", on_ios: I, on_android: O, in_khronos: O, functions: &[
+        "glTexImageIOSurfaceAPPLE", "glRenderbufferStorageIOSurfaceAPPLE",
+    ]},
+    ExtDef { name: "APPLE_vertex_array_range", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glVertexArrayRangeAPPLE", "glFlushVertexArrayRangeAPPLE", "glVertexArrayParameteriAPPLE",
+    ]},
+    ExtDef { name: "OES_vertex_array_object", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glBindVertexArrayOES", "glDeleteVertexArraysOES", "glGenVertexArraysOES",
+        "glIsVertexArrayOES",
+    ]},
+    ExtDef { name: "EXT_debug_label", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glLabelObjectEXT", "glGetObjectLabelEXT",
+    ]},
+    ExtDef { name: "EXT_debug_marker", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glInsertEventMarkerEXT", "glPushGroupMarkerEXT", "glPopGroupMarkerEXT",
+    ]},
+    ExtDef { name: "EXT_discard_framebuffer", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glDiscardFramebufferEXT",
+    ]},
+    ExtDef { name: "EXT_occlusion_query_boolean", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glGenQueriesEXT", "glDeleteQueriesEXT", "glIsQueryEXT", "glBeginQueryEXT",
+        "glEndQueryEXT", "glGetQueryivEXT", "glGetQueryObjectuivEXT",
+    ]},
+    // The real iOS extension exports 30+ entry points; we carry the 15 most
+    // used (DESIGN.md §6).
+    ExtDef { name: "EXT_separate_shader_objects", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glUseProgramStagesEXT", "glActiveShaderProgramEXT", "glCreateShaderProgramvEXT",
+        "glBindProgramPipelineEXT", "glDeleteProgramPipelinesEXT", "glGenProgramPipelinesEXT",
+        "glIsProgramPipelineEXT", "glProgramParameteriEXT", "glGetProgramPipelineivEXT",
+        "glProgramUniform1iEXT", "glProgramUniform1fEXT", "glProgramUniform4fEXT",
+        "glProgramUniform4fvEXT", "glProgramUniformMatrix4fvEXT", "glValidateProgramPipelineEXT",
+    ]},
+    ExtDef { name: "EXT_map_buffer_range", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glMapBufferRangeEXT", "glFlushMappedBufferRangeEXT",
+    ]},
+    ExtDef { name: "EXT_texture_storage", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glTexStorage2DEXT",
+    ]},
+    ExtDef { name: "EXT_instanced_arrays", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glDrawArraysInstancedEXT", "glDrawElementsInstancedEXT", "glVertexAttribDivisorEXT",
+    ]},
+    ExtDef { name: "EXT_multi_draw_arrays", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glMultiDrawArraysEXT", "glMultiDrawElementsEXT",
+    ]},
+    ExtDef { name: "EXT_robustness", on_ios: I, on_android: O, in_khronos: I, functions: &[
+        "glGetGraphicsResetStatusEXT", "glReadnPixelsEXT", "glGetnUniformfvEXT",
+        "glGetnUniformivEXT",
+    ]},
+    ExtDef { name: "APPLE_row_bytes", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "APPLE_texture_2D_limited_npot", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "APPLE_texture_format_BGRA8888", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "APPLE_texture_max_level", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "APPLE_rgb_422", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "APPLE_clip_distance", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "APPLE_color_buffer_packed_float", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "APPLE_texture_packed_float", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_read_format_bgra", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_sRGB", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_pvrtc_sRGB", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_shader_framebuffer_fetch", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_shadow_samplers", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_texture_rg", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "IMG_texture_compression_pvrtc", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_shader_texture_lod", on_ios: I, on_android: O, in_khronos: I, functions: &[] },
+
+    // ----- Android (Tegra) only: 43 extensions, 15 functions -----
+    ExtDef { name: "NV_fence", on_ios: O, on_android: I, in_khronos: I, functions: &[
+        "glDeleteFencesNV", "glGenFencesNV", "glIsFenceNV", "glTestFenceNV",
+        "glGetFenceivNV", "glFinishFenceNV", "glSetFenceNV",
+    ]},
+    ExtDef { name: "NV_coverage_sample", on_ios: O, on_android: I, in_khronos: I, functions: &[
+        "glCoverageMaskNV", "glCoverageOperationNV",
+    ]},
+    ExtDef { name: "NV_draw_buffers", on_ios: O, on_android: I, in_khronos: I, functions: &[
+        "glDrawBuffersNV",
+    ]},
+    ExtDef { name: "NV_read_buffer", on_ios: O, on_android: I, in_khronos: I, functions: &[
+        "glReadBufferNV",
+    ]},
+    ExtDef { name: "NV_system_time", on_ios: O, on_android: I, in_khronos: O, functions: &[
+        "glGetSystemTimeFrequencyNV", "glGetSystemTimeNV",
+    ]},
+    ExtDef { name: "EXT_multisampled_render_to_texture", on_ios: O, on_android: I, in_khronos: I, functions: &[
+        "glRenderbufferStorageMultisampleEXT", "glFramebufferTexture2DMultisampleEXT",
+    ]},
+    ExtDef { name: "OES_compressed_ETC1_RGB8_texture", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_depth_texture", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_element_index_uint", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_fbo_render_mipmap", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_fragment_precision_high", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_texture_half_float", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_texture_float", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_texture_half_float_linear", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_vertex_type_10_10_10_2", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_EGL_image_external", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "OES_EGL_sync", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_texture_compression_s3tc", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_texture_compression_dxt1", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_bgra", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "EXT_unpack_subimage", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_texture_format_BGRA8888", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "EXT_texture_array", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "NV_depth_nonlinear", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_fbo_color_attachments", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_read_buffer_front", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_read_depth", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_read_stencil", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_read_depth_stencil", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_texture_compression_s3tc", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "NV_texture_compression_latc", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "NV_pack_subimage", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "NV_texture_array", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "NV_pixel_buffer_object", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "NV_platform_binary", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "NV_smooth_points_lines", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "NV_sRGB_formats", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_texture_npot_2D_mipmap", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_3dvision_settings", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_EGL_stream_consumer_external", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_bgr", on_ios: O, on_android: I, in_khronos: I, functions: &[] },
+    ExtDef { name: "NV_multiview_draw_buffers", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+    ExtDef { name: "NV_shader_framebuffer_fetch", on_ios: O, on_android: I, in_khronos: O, functions: &[] },
+];
+
+/// Khronos-registry extensions implemented by neither evaluation platform:
+/// 81 extensions contributing 176 entry points, completing the Khronos
+/// column of Table 1 (174 extensions, 285 functions). Function names for
+/// these are synthesized (`<ext>_fn<i>`) since no simulated code ever calls
+/// them; only the counts are observable.
+const KHRONOS_ONLY: &[(&str, usize)] = &[
+    // 16 large extensions with 8 entry points each (128 functions).
+    ("KHR_debug", 8), ("EXT_disjoint_timer_query", 8), ("QCOM_driver_control", 8),
+    ("QCOM_extended_get", 8), ("QCOM_extended_get2", 8), ("VIV_shader_binary", 8),
+    ("AMD_performance_monitor", 8), ("ANGLE_framebuffer_blit", 8),
+    ("ARM_mali_shader_binary", 8), ("DMP_shader_binary", 8), ("FJ_shader_binary_GCCSO", 8),
+    ("IMG_multisampled_render_to_texture", 8), ("QCOM_alpha_test", 8),
+    ("QCOM_tiled_rendering", 8), ("ANGLE_instanced_arrays", 8), ("APPLE_flush_buffer_range", 8),
+    // 16 medium extensions with 3 entry points each (48 functions).
+    ("ANGLE_translated_shader_source", 3), ("ANGLE_framebuffer_multisample", 3),
+    ("EXT_blend_func_extended", 3), ("EXT_buffer_storage", 3), ("EXT_clear_texture", 3),
+    ("EXT_clip_control", 3), ("EXT_copy_image", 3), ("EXT_draw_buffers", 3),
+    ("EXT_draw_elements_base_vertex", 3), ("EXT_geometry_shader", 3),
+    ("EXT_multiview_draw_buffers", 3), ("EXT_polygon_offset_clamp", 3),
+    ("EXT_primitive_bounding_box", 3), ("EXT_raster_multisample", 3),
+    ("EXT_tessellation_shader", 3), ("EXT_texture_view", 3),
+    // 49 enum/behaviour-only extensions (0 functions).
+    ("ARM_rgba8", 0), ("ARM_mali_program_binary", 0), ("EXT_color_buffer_half_float", 0),
+    ("EXT_color_buffer_float", 0), ("EXT_depth_clamp", 0), ("EXT_float_blend", 0),
+    ("EXT_gpu_shader5", 0), ("EXT_multisample_compatibility", 0),
+    ("EXT_post_depth_coverage", 0), ("EXT_render_snorm", 0), ("EXT_shader_group_vote", 0),
+    ("EXT_shader_implicit_conversions", 0), ("EXT_shader_integer_mix", 0),
+    ("EXT_shader_io_blocks", 0), ("EXT_shader_non_constant_global_initializers", 0),
+    ("EXT_sparse_texture", 0), ("EXT_texture_buffer", 0),
+    ("EXT_texture_compression_astc_decode_mode", 0), ("EXT_texture_cube_map_array", 0),
+    ("EXT_texture_norm16", 0), ("EXT_texture_sRGB_decode", 0), ("EXT_texture_sRGB_R8", 0),
+    ("EXT_texture_type_2_10_10_10_REV", 0), ("EXT_window_rectangles", 0),
+    ("IMG_framebuffer_downsample", 0), ("IMG_program_binary", 0), ("IMG_shader_binary", 0),
+    ("IMG_texture_compression_pvrtc2", 0), ("IMG_texture_env_enhanced_fixed_function", 0),
+    ("KHR_blend_equation_advanced", 0), ("KHR_context_flush_control", 0),
+    ("KHR_no_error", 0), ("KHR_robust_buffer_access_behavior", 0),
+    ("KHR_texture_compression_astc_hdr", 0), ("KHR_texture_compression_astc_ldr", 0),
+    ("MESA_shader_integer_functions", 0), ("OES_copy_image", 0), ("OES_depth32", 0),
+    ("OES_draw_buffers_indexed", 0), ("OES_geometry_shader", 0), ("OES_gpu_shader5", 0),
+    ("OES_primitive_bounding_box", 0), ("OES_sample_shading", 0),
+    ("OES_shader_image_atomic", 0), ("OES_stencil1", 0), ("OES_stencil4", 0),
+    ("OES_surfaceless_context", 0), ("OES_texture_stencil8", 0), ("OES_texture_view", 0),
+];
+
+// ---------------------------------------------------------------------
+// The registry object
+// ---------------------------------------------------------------------
+
+/// Which API surface an [`EntryPoint`] belongs to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EntryApi {
+    /// A standard profile function with the given availability.
+    Standard(StdAvailability),
+    /// A function added by the named extension.
+    Extension(String),
+}
+
+/// One function of the iOS GLES binary surface Cycada must bridge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EntryPoint {
+    /// The exported symbol name.
+    pub name: String,
+    /// The API surface it belongs to.
+    pub api: EntryApi,
+}
+
+/// The Table 1 row values, as produced by [`GlesRegistry::table1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1 {
+    /// GLES 1.0/1.1 standard functions: (iOS, Android, Khronos).
+    pub v1_standard: (usize, usize, usize),
+    /// GLES 2.0 standard functions: (iOS, Android, Khronos).
+    pub v2_standard: (usize, usize, usize),
+    /// Extension functions: (iOS, Android, Khronos).
+    pub extension_functions: (usize, usize, usize),
+    /// Extension functions implemented by both platforms.
+    pub common_extension_functions: usize,
+    /// Extensions: (iOS, Android, Khronos).
+    pub extensions: (usize, usize, usize),
+    /// iOS extensions absent from Android.
+    pub extensions_not_in_android: usize,
+    /// Android extensions absent from iOS.
+    pub extensions_not_in_ios: usize,
+}
+
+/// The complete GLES function/extension registry for both platforms.
+#[derive(Debug)]
+pub struct GlesRegistry {
+    std_functions: Vec<StdFunction>,
+    extensions: Vec<Extension>,
+}
+
+static REGISTRY: OnceLock<GlesRegistry> = OnceLock::new();
+
+impl GlesRegistry {
+    /// The process-wide registry instance.
+    pub fn global() -> &'static GlesRegistry {
+        REGISTRY.get_or_init(GlesRegistry::build)
+    }
+
+    fn build() -> GlesRegistry {
+        let shared: BTreeSet<&str> = SHARED_CORE.iter().copied().collect();
+        let mut std_functions = Vec::new();
+        for &name in SHARED_CORE {
+            std_functions.push(StdFunction {
+                name,
+                availability: StdAvailability::Shared,
+            });
+        }
+        for &name in V1_STANDARD {
+            if !shared.contains(name) {
+                std_functions.push(StdFunction {
+                    name,
+                    availability: StdAvailability::V1Only,
+                });
+            }
+        }
+        for &name in V2_STANDARD {
+            if !shared.contains(name) {
+                std_functions.push(StdFunction {
+                    name,
+                    availability: StdAvailability::V2Only,
+                });
+            }
+        }
+
+        let mut extensions: Vec<Extension> = PLATFORM_EXTENSIONS
+            .iter()
+            .map(|def| Extension {
+                name: def.name.to_owned(),
+                functions: def.functions.iter().map(|&f| f.to_owned()).collect(),
+                on_ios: def.on_ios,
+                on_android: def.on_android,
+                in_khronos: def.in_khronos,
+            })
+            .collect();
+        for &(name, fn_count) in KHRONOS_ONLY {
+            extensions.push(Extension {
+                name: name.to_owned(),
+                functions: (0..fn_count).map(|i| format!("{name}_fn{i}")).collect(),
+                on_ios: false,
+                on_android: false,
+                in_khronos: true,
+            });
+        }
+
+        GlesRegistry {
+            std_functions,
+            extensions,
+        }
+    }
+
+    /// All standard entry points (shared ones appear once).
+    pub fn std_functions(&self) -> &[StdFunction] {
+        &self.std_functions
+    }
+
+    /// All known extensions (both platforms + Khronos-only).
+    pub fn extensions(&self) -> &[Extension] {
+        &self.extensions
+    }
+
+    /// Looks up an extension by name.
+    pub fn extension(&self, name: &str) -> Option<&Extension> {
+        self.extensions.iter().find(|e| e.name == name)
+    }
+
+    /// The extensions a platform implements.
+    pub fn platform_extensions(&self, flavor: ApiFlavor) -> impl Iterator<Item = &Extension> {
+        self.extensions.iter().filter(move |e| match flavor {
+            ApiFlavor::Ios => e.on_ios,
+            ApiFlavor::Android => e.on_android,
+        })
+    }
+
+    /// The `GL_EXTENSIONS` string a platform's `glGetString` returns.
+    pub fn extension_string(&self, flavor: ApiFlavor) -> String {
+        self.platform_extensions(flavor)
+            .map(|e| format!("GL_{}", e.name))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Whether a platform implements the named extension function.
+    pub fn platform_has_function(&self, flavor: ApiFlavor, function: &str) -> bool {
+        self.platform_extensions(flavor)
+            .any(|e| e.functions.iter().any(|f| f == function))
+    }
+
+    /// Every entry point the iOS GLES surface exposes — the 344 functions
+    /// Cycada must bridge (Table 2's denominator).
+    ///
+    /// Entry points are identified by `(name, api)`: 21 standard names
+    /// appear twice because their v1 and v2 implementations differ and each
+    /// needs its own diplomat.
+    pub fn ios_entry_points(&self) -> Vec<EntryPoint> {
+        let mut out: Vec<EntryPoint> = self
+            .std_functions
+            .iter()
+            .map(|f| EntryPoint {
+                name: f.name.to_owned(),
+                api: EntryApi::Standard(f.availability),
+            })
+            .collect();
+        for ext in self.platform_extensions(ApiFlavor::Ios) {
+            out.extend(ext.functions.iter().map(|f| EntryPoint {
+                name: f.clone(),
+                api: EntryApi::Extension(ext.name.clone()),
+            }));
+        }
+        out
+    }
+
+    /// Computes the Table 1 rows from the registry population.
+    pub fn table1(&self) -> Table1 {
+        let v1 = V1_STANDARD.len();
+        let v2 = V2_STANDARD.len();
+        let ios_ext_fns: usize = self
+            .platform_extensions(ApiFlavor::Ios)
+            .map(|e| e.functions.len())
+            .sum();
+        let android_ext_fns: usize = self
+            .platform_extensions(ApiFlavor::Android)
+            .map(|e| e.functions.len())
+            .sum();
+        let khronos_ext_fns: usize = self
+            .extensions
+            .iter()
+            .filter(|e| e.in_khronos || e.on_ios || e.on_android)
+            .map(|e| e.functions.len())
+            .sum();
+        let common_ext_fns: usize = self
+            .extensions
+            .iter()
+            .filter(|e| e.on_ios && e.on_android)
+            .map(|e| e.functions.len())
+            .sum();
+        let ios_exts = self.platform_extensions(ApiFlavor::Ios).count();
+        let android_exts = self.platform_extensions(ApiFlavor::Android).count();
+        let khronos_exts = self
+            .extensions
+            .iter()
+            .filter(|e| e.in_khronos || e.on_ios || e.on_android)
+            .count();
+        let not_in_android = self
+            .extensions
+            .iter()
+            .filter(|e| e.on_ios && !e.on_android)
+            .count();
+        let not_in_ios = self
+            .extensions
+            .iter()
+            .filter(|e| e.on_android && !e.on_ios)
+            .count();
+        Table1 {
+            v1_standard: (v1, v1, v1),
+            v2_standard: (v2, v2, v2),
+            extension_functions: (ios_ext_fns, android_ext_fns, khronos_ext_fns),
+            common_extension_functions: common_ext_fns,
+            extensions: (ios_exts, android_exts, khronos_exts),
+            extensions_not_in_android: not_in_android,
+            extensions_not_in_ios: not_in_ios,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn core_list_sizes_match_table1() {
+        assert_eq!(V1_STANDARD.len(), 145, "GLES 1.x standard functions");
+        assert_eq!(V2_STANDARD.len(), 142, "GLES 2.0 standard functions");
+        assert_eq!(SHARED_CORE.len(), 37, "shared v1/v2 implementations");
+    }
+
+    #[test]
+    fn core_lists_have_no_duplicates() {
+        for list in [V1_STANDARD, V2_STANDARD, SHARED_CORE] {
+            let set: HashSet<_> = list.iter().collect();
+            assert_eq!(set.len(), list.len());
+        }
+    }
+
+    #[test]
+    fn shared_core_appears_in_both_profiles() {
+        let v1: HashSet<_> = V1_STANDARD.iter().collect();
+        let v2: HashSet<_> = V2_STANDARD.iter().collect();
+        for name in SHARED_CORE {
+            assert!(v1.contains(name), "{name} missing from v1");
+            assert!(v2.contains(name), "{name} missing from v2");
+        }
+    }
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let t = GlesRegistry::global().table1();
+        assert_eq!(t.v1_standard, (145, 145, 145));
+        assert_eq!(t.v2_standard, (142, 142, 142));
+        assert_eq!(t.extension_functions, (94, 42, 285));
+        assert_eq!(t.common_extension_functions, 27);
+        assert_eq!(t.extensions, (50, 60, 174));
+        assert_eq!(t.extensions_not_in_android, 33);
+        assert_eq!(t.extensions_not_in_ios, 43);
+    }
+
+    #[test]
+    fn ios_surface_has_344_entry_points() {
+        // Table 2's total: (145 + 142 - 37) + 94 = 344.
+        let entries = GlesRegistry::global().ios_entry_points();
+        assert_eq!(entries.len(), 344);
+        let set: HashSet<_> = entries.iter().collect();
+        assert_eq!(set.len(), entries.len(), "entry points are distinct");
+        // 21 names legitimately appear under both the v1 and v2 APIs.
+        let names: HashSet<_> = entries.iter().map(|e| &e.name).collect();
+        assert_eq!(names.len(), 344 - 21);
+    }
+
+    #[test]
+    fn extension_names_unique() {
+        let reg = GlesRegistry::global();
+        let names: HashSet<_> = reg.extensions().iter().map(|e| &e.name).collect();
+        assert_eq!(names.len(), reg.extensions().len());
+    }
+
+    #[test]
+    fn apple_fence_and_nv_fence_are_disjoint_platforms() {
+        let reg = GlesRegistry::global();
+        let apple = reg.extension("APPLE_fence").unwrap();
+        assert!(apple.on_ios && !apple.on_android);
+        let nv = reg.extension("NV_fence").unwrap();
+        assert!(!nv.on_ios && nv.on_android);
+        // The indirect-diplomat pairing the paper describes.
+        assert_eq!(apple.functions.len(), 8);
+        assert_eq!(nv.functions.len(), 7);
+    }
+
+    #[test]
+    fn extension_string_prefixes_gl() {
+        let s = GlesRegistry::global().extension_string(ApiFlavor::Ios);
+        assert!(s.contains("GL_APPLE_fence"));
+        assert!(!s.contains("GL_NV_fence"));
+        let a = GlesRegistry::global().extension_string(ApiFlavor::Android);
+        assert!(a.contains("GL_NV_fence"));
+        assert!(!a.contains("GL_APPLE_fence"));
+    }
+
+    #[test]
+    fn platform_function_lookup() {
+        let reg = GlesRegistry::global();
+        assert!(reg.platform_has_function(ApiFlavor::Ios, "glSetFenceAPPLE"));
+        assert!(!reg.platform_has_function(ApiFlavor::Android, "glSetFenceAPPLE"));
+        assert!(reg.platform_has_function(ApiFlavor::Android, "glSetFenceNV"));
+        assert!(reg.platform_has_function(ApiFlavor::Ios, "glMapBufferOES"));
+        assert!(reg.platform_has_function(ApiFlavor::Android, "glMapBufferOES"));
+    }
+
+    #[test]
+    fn std_entries_count() {
+        // 37 shared + 108 v1-only + 105 v2-only = 250 standard entries.
+        let reg = GlesRegistry::global();
+        assert_eq!(reg.std_functions().len(), 250);
+        let shared = reg
+            .std_functions()
+            .iter()
+            .filter(|f| f.availability == StdAvailability::Shared)
+            .count();
+        assert_eq!(shared, 37);
+    }
+
+    #[test]
+    fn khronos_only_extensions_are_off_platform() {
+        let reg = GlesRegistry::global();
+        let khr = reg.extension("KHR_debug").unwrap();
+        assert!(!khr.on_ios && !khr.on_android && khr.in_khronos);
+        assert_eq!(khr.functions.len(), 8);
+    }
+}

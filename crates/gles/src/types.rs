@@ -1,0 +1,214 @@
+//! GLES enums and small value types.
+
+use std::fmt;
+
+/// GLES error codes (the `glGetError` model: first error sticks until read).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GlError {
+    /// No error recorded.
+    #[default]
+    NoError,
+    /// An enum argument was not legal for the function.
+    InvalidEnum,
+    /// A value argument was out of range.
+    InvalidValue,
+    /// The operation is not allowed in the current state.
+    InvalidOperation,
+    /// The framebuffer is not complete.
+    InvalidFramebufferOperation,
+    /// The implementation ran out of memory.
+    OutOfMemory,
+}
+
+impl fmt::Display for GlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GlError::NoError => "GL_NO_ERROR",
+            GlError::InvalidEnum => "GL_INVALID_ENUM",
+            GlError::InvalidValue => "GL_INVALID_VALUE",
+            GlError::InvalidOperation => "GL_INVALID_OPERATION",
+            GlError::InvalidFramebufferOperation => "GL_INVALID_FRAMEBUFFER_OPERATION",
+            GlError::OutOfMemory => "GL_OUT_OF_MEMORY",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Primitive assembly modes accepted by the draw calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primitive {
+    /// Independent points (rendered as small quads).
+    Points,
+    /// Independent line segments (rendered as thin quads).
+    Lines,
+    /// A connected line strip.
+    LineStrip,
+    /// A closed line loop.
+    LineLoop,
+    /// Independent triangles.
+    Triangles,
+    /// A triangle strip.
+    TriangleStrip,
+    /// A triangle fan.
+    TriangleFan,
+}
+
+/// Texture/pixel-transfer formats the simulated stack understands.
+///
+/// `Bgra` is the Apple-favoured format (`APPLE_texture_format_BGRA8888`);
+/// the Tegra library rejects it, which is what forces Cycada's
+/// data-dependent conversion diplomats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TexFormat {
+    /// 32-bit RGBA.
+    Rgba,
+    /// 32-bit BGRA (iOS only).
+    Bgra,
+    /// 16-bit RGB 5-6-5.
+    Rgb565,
+    /// 8-bit alpha.
+    Alpha,
+}
+
+impl TexFormat {
+    /// Bytes per pixel of client-memory data in this format.
+    pub fn bytes_per_pixel(self) -> usize {
+        match self {
+            TexFormat::Rgba | TexFormat::Bgra => 4,
+            TexFormat::Rgb565 => 2,
+            TexFormat::Alpha => 1,
+        }
+    }
+
+    /// The GPU pixel format used for storage.
+    pub fn pixel_format(self) -> cycada_gpu::PixelFormat {
+        match self {
+            TexFormat::Rgba => cycada_gpu::PixelFormat::Rgba8888,
+            TexFormat::Bgra => cycada_gpu::PixelFormat::Bgra8888,
+            TexFormat::Rgb565 => cycada_gpu::PixelFormat::Rgb565,
+            TexFormat::Alpha => cycada_gpu::PixelFormat::Alpha8,
+        }
+    }
+}
+
+/// The matrix stack selected by `glMatrixMode` (v1 only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixMode {
+    /// The model-view stack.
+    #[default]
+    ModelView,
+    /// The projection stack.
+    Projection,
+}
+
+/// Server-side capabilities toggled by `glEnable`/`glDisable`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Alpha blending.
+    Blend,
+    /// Depth testing.
+    DepthTest,
+    /// Scissor testing.
+    ScissorTest,
+    /// 2D texturing (v1 fixed function).
+    Texture2D,
+}
+
+/// Client-side array kinds toggled by `glEnableClientState` (v1 only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientState {
+    /// The vertex position array.
+    VertexArray,
+    /// The vertex color array.
+    ColorArray,
+    /// The texture coordinate array.
+    TexCoordArray,
+}
+
+/// Names accepted by `glGetString`. `AppleExtensions` is the non-standard
+/// Apple-proprietary parameter the paper's data-dependent `glGetString`
+/// diplomat must interpret (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StringName {
+    /// `GL_VENDOR`.
+    Vendor,
+    /// `GL_RENDERER`.
+    Renderer,
+    /// `GL_VERSION`.
+    Version,
+    /// `GL_EXTENSIONS`.
+    Extensions,
+    /// Apple's non-standard "proprietary extensions" parameter, unknown to
+    /// Android implementations.
+    AppleExtensions,
+}
+
+/// Result of `glCheckFramebufferStatus`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramebufferStatus {
+    /// The framebuffer is complete and renderable.
+    Complete,
+    /// An attachment is missing or incomplete.
+    IncompleteAttachment,
+    /// No image is attached at all.
+    MissingAttachment,
+    /// The combination of attachments is unsupported.
+    Unsupported,
+}
+
+/// `glPixelStorei` parameter names, including the two extra parameters the
+/// `APPLE_row_bytes` extension adds (§4.1: they "maintain state associated
+/// with the current GLES context which controls how three GLES functions
+/// read in or write out pixel data").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PixelStoreParam {
+    /// `GL_UNPACK_ALIGNMENT`.
+    UnpackAlignment,
+    /// `GL_PACK_ALIGNMENT`.
+    PackAlignment,
+    /// `GL_UNPACK_ROW_BYTES_APPLE` (iOS only).
+    UnpackRowBytesApple,
+    /// `GL_PACK_ROW_BYTES_APPLE` (iOS only).
+    PackRowBytesApple,
+}
+
+/// Integer state queryable with `glGetIntegerv` (the subset the simulated
+/// workloads use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntParam {
+    /// `GL_MAX_TEXTURE_SIZE`.
+    MaxTextureSize,
+    /// `GL_FRAMEBUFFER_BINDING`.
+    FramebufferBinding,
+    /// `GL_TEXTURE_BINDING_2D`.
+    TextureBinding2D,
+    /// `GL_VIEWPORT` width (helper; the full query returns 4 values).
+    ViewportWidth,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tex_format_sizes() {
+        assert_eq!(TexFormat::Rgba.bytes_per_pixel(), 4);
+        assert_eq!(TexFormat::Bgra.bytes_per_pixel(), 4);
+        assert_eq!(TexFormat::Rgb565.bytes_per_pixel(), 2);
+        assert_eq!(TexFormat::Alpha.bytes_per_pixel(), 1);
+    }
+
+    #[test]
+    fn tex_format_maps_to_gpu_format() {
+        assert_eq!(
+            TexFormat::Bgra.pixel_format(),
+            cycada_gpu::PixelFormat::Bgra8888
+        );
+    }
+
+    #[test]
+    fn gl_error_display() {
+        assert_eq!(GlError::InvalidEnum.to_string(), "GL_INVALID_ENUM");
+        assert_eq!(GlError::default(), GlError::NoError);
+    }
+}

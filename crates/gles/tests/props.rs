@@ -1,0 +1,183 @@
+//! Property-based tests for the GLES state machine and registry.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cycada_gles::{
+    ApiFlavor, Capability, ClientState, GlesContext, GlesRegistry, GlesVersion, Primitive,
+    StdAvailability, TexFormat,
+};
+use cycada_gpu::{GpuDevice, Image, PixelFormat};
+use cycada_sim::{GpuCostModel, VirtualClock};
+
+fn ctx(version: GlesVersion, flavor: ApiFlavor, size: u32) -> GlesContext {
+    let device = Arc::new(GpuDevice::new(VirtualClock::new(), GpuCostModel::tegra3()));
+    let mut c = GlesContext::new(version, flavor, device);
+    c.set_default_framebuffer(Some(Image::new(size, size, PixelFormat::Rgba8888)));
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn texture_upload_readback_round_trips(
+        w in 1u32..8, h in 1u32..8,
+        seed: u64,
+    ) {
+        let mut c = ctx(GlesVersion::V2, ApiFlavor::Ios, 16);
+        let mut data = Vec::new();
+        let mut state = seed | 1;
+        for _ in 0..(w * h * 4) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            data.push((state >> 56) as u8);
+        }
+        let tex = c.gen_textures(1)[0];
+        c.bind_texture(tex);
+        c.tex_image_2d(w, h, TexFormat::Rgba, Some(&data));
+        let img = c.texture_image(tex).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                let off = ((y * w + x) * 4) as usize;
+                prop_assert_eq!(
+                    img.pixel_rgba(x, y).to_bytes(),
+                    [data[off], data[off + 1], data[off + 2], data[off + 3]]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clear_color_round_trips_through_framebuffer(r in 0.0f32..=1.0, g in 0.0f32..=1.0, b in 0.0f32..=1.0) {
+        let mut c = ctx(GlesVersion::V1, ApiFlavor::Android, 8);
+        c.clear_color(r, g, b, 1.0);
+        c.clear(true, false);
+        let px = c.default_framebuffer().unwrap().pixel_rgba(4, 4).to_bytes();
+        let q = |v: f32| (v * 255.0).round() as u8;
+        prop_assert_eq!(px, [q(r), q(g), q(b), 255]);
+    }
+
+    #[test]
+    fn matrix_stack_depth_is_balanced(ops in prop::collection::vec(any::<bool>(), 0..64)) {
+        let mut c = ctx(GlesVersion::V1, ApiFlavor::Android, 8);
+        let mut depth = 1usize;
+        for push in ops {
+            if push {
+                c.push_matrix();
+                depth += 1;
+            } else if depth > 1 {
+                c.pop_matrix();
+                depth -= 1;
+            } else {
+                // Popping the last entry must error, not underflow.
+                c.pop_matrix();
+                prop_assert_eq!(c.get_error(), cycada_gles::GlError::InvalidOperation);
+            }
+        }
+    }
+
+    #[test]
+    fn draws_never_touch_pixels_outside_the_viewport(
+        vx in 0i32..6, vy in 0i32..6, vw in 1u32..6, vh in 1u32..6,
+    ) {
+        let mut c = ctx(GlesVersion::V1, ApiFlavor::Android, 12);
+        c.set_viewport(vx, vy, vw, vh);
+        c.set_client_state(ClientState::VertexArray, true);
+        c.client_pointer(ClientState::VertexArray, 2,
+            &[-1.0, -1.0, 3.0, -1.0, -1.0, 3.0]);
+        c.color4f(1.0, 0.0, 0.0, 1.0);
+        c.draw_arrays(Primitive::Triangles, 0, 3);
+        let fb = c.default_framebuffer().unwrap();
+        // GL viewport y counts from the bottom of the surface.
+        let y_top = 12 - (vy as u32 + vh);
+        for y in 0..12u32 {
+            for x in 0..12u32 {
+                let inside = x >= vx as u32 && x < vx as u32 + vw && y >= y_top && y < y_top + vh;
+                let lit = fb.pixel_rgba(x, y).to_bytes() != [0, 0, 0, 0];
+                if !inside {
+                    prop_assert!(!lit, "pixel ({x},{y}) outside viewport was written");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capabilities_toggle_freely(toggles in prop::collection::vec((0usize..4, any::<bool>()), 0..64)) {
+        let caps = [
+            Capability::Blend,
+            Capability::DepthTest,
+            Capability::ScissorTest,
+            Capability::Texture2D,
+        ];
+        let mut c = ctx(GlesVersion::V2, ApiFlavor::Android, 8);
+        let mut expect = [false; 4];
+        for (idx, on) in toggles {
+            if on { c.enable(caps[idx]) } else { c.disable(caps[idx]) }
+            expect[idx] = on;
+            prop_assert_eq!(c.is_enabled(caps[idx]), expect[idx]);
+        }
+    }
+
+    #[test]
+    fn gen_names_are_unique(count_tex in 0usize..16, count_fb in 0usize..16, count_rb in 0usize..16) {
+        let mut c = ctx(GlesVersion::V2, ApiFlavor::Android, 8);
+        let mut all: Vec<u32> = Vec::new();
+        all.extend(c.gen_textures(count_tex));
+        all.extend(c.gen_framebuffers(count_fb));
+        all.extend(c.gen_renderbuffers(count_rb));
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        prop_assert_eq!(set.len(), all.len());
+        prop_assert!(!all.contains(&0), "0 is the reserved default name");
+    }
+}
+
+#[test]
+fn registry_population_identities() {
+    // Cross-check the registry's internal consistency (beyond the exact
+    // Table 1 values asserted in unit tests).
+    let reg = GlesRegistry::global();
+    let shared = reg
+        .std_functions()
+        .iter()
+        .filter(|f| f.availability == StdAvailability::Shared)
+        .count();
+    let v1_only = reg
+        .std_functions()
+        .iter()
+        .filter(|f| f.availability == StdAvailability::V1Only)
+        .count();
+    let v2_only = reg
+        .std_functions()
+        .iter()
+        .filter(|f| f.availability == StdAvailability::V2Only)
+        .count();
+    assert_eq!(shared + v1_only, 145);
+    assert_eq!(shared + v2_only, 142);
+
+    let ios_ext_fns: usize = reg
+        .platform_extensions(ApiFlavor::Ios)
+        .map(|e| e.functions.len())
+        .sum();
+    assert_eq!(
+        reg.ios_entry_points().len(),
+        shared + v1_only + v2_only + ios_ext_fns
+    );
+
+    // Common extension functions are exactly those of common extensions.
+    let common_fns: usize = reg
+        .extensions()
+        .iter()
+        .filter(|e| e.on_ios && e.on_android)
+        .map(|e| e.functions.len())
+        .sum();
+    assert_eq!(common_fns, 27);
+
+    // No function name appears in two different extensions.
+    let mut seen = std::collections::HashSet::new();
+    for ext in reg.extensions() {
+        for f in &ext.functions {
+            assert!(seen.insert(f.clone()), "{f} appears in two extensions");
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The GPU device front-end: command execution plus cost accounting.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use cycada_sim::{GpuCostModel, Nanos, VirtualClock};
+
+use crate::fence::{Fence, FenceCondition, FenceId};
+use crate::format::Rgba;
+use crate::image::Image;
+use crate::raster::{self, Pipeline, RasterMetrics, Rect, Vertex};
+
+/// Whether work goes down the 2D (vector/canvas) or 3D path. The two paths
+/// have different relative efficiency per device (Figure 6: the iPad is
+/// slower at 2D and faster at complex 3D than the Nexus 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrawClass {
+    /// 2D vector / canvas work.
+    TwoD,
+    /// 3D geometry work.
+    ThreeD,
+}
+
+/// Counters describing everything the device has executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuStats {
+    /// Total commands submitted.
+    pub commands: u64,
+    /// Draw commands.
+    pub draws: u64,
+    /// Clear commands.
+    pub clears: u64,
+    /// Blit/copy commands.
+    pub blits: u64,
+    /// Vertices transformed.
+    pub vertices: u64,
+    /// Fragments shaded.
+    pub fragments: u64,
+    /// Bytes uploaded from CPU memory.
+    pub upload_bytes: u64,
+    /// Fences set.
+    pub fences_set: u64,
+    /// Explicit flushes.
+    pub flushes: u64,
+    /// Frames presented through this device.
+    pub presents: u64,
+}
+
+#[derive(Debug, Default)]
+struct DeviceInner {
+    next_fence: u64,
+    fences: HashMap<FenceId, Fence>,
+    submitted_seq: u64,
+    retired_seq: u64,
+    stats: GpuStats,
+}
+
+/// The simulated GPU device.
+///
+/// Commands execute *functionally* immediately (the rasterizer writes
+/// pixels synchronously) but *retire* only at a flush — which is what
+/// fences observe, mirroring the asynchronous completion model of a real
+/// GPU closely enough to exercise `APPLE_fence`/`NV_fence` logic.
+///
+/// Every command charges calibrated virtual time to the shared clock.
+pub struct GpuDevice {
+    clock: VirtualClock,
+    cost: GpuCostModel,
+    inner: Mutex<DeviceInner>,
+}
+
+impl GpuDevice {
+    /// Creates a device charging costs from `cost` to `clock`.
+    pub fn new(clock: VirtualClock, cost: GpuCostModel) -> Self {
+        GpuDevice {
+            clock,
+            cost,
+            inner: Mutex::new(DeviceInner::default()),
+        }
+    }
+
+    /// The device's cost model.
+    pub fn cost_model(&self) -> &GpuCostModel {
+        &self.cost
+    }
+
+    /// The shared clock this device charges to.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn class_scale(&self, class: DrawClass) -> f64 {
+        match class {
+            DrawClass::TwoD => self.cost.scale_2d,
+            DrawClass::ThreeD => self.cost.scale_3d,
+        }
+    }
+
+    fn submit(&self, inner: &mut DeviceInner) {
+        inner.submitted_seq += 1;
+        inner.stats.commands += 1;
+        self.clock.charge_ns(self.cost.command_submit_ns);
+    }
+
+    /// Clears `target` to a solid color.
+    pub fn clear(&self, target: &Image, color: Rgba, class: DrawClass) {
+        let mut inner = self.inner.lock();
+        self.submit(&mut inner);
+        inner.stats.clears += 1;
+        drop(inner);
+        target.fill(color);
+        self.clock.charge_ns_f64(
+            target.pixel_count() as f64 * self.cost.per_clear_pixel_ns * self.class_scale(class),
+        );
+    }
+
+    /// Draws a triangle list (optionally indexed) into `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or a wrong-size depth buffer (see
+    /// [`raster::draw_indexed`]).
+    pub fn draw(
+        &self,
+        target: &Image,
+        depth: Option<&mut [f32]>,
+        vertices: &[Vertex],
+        indices: Option<&[u32]>,
+        pipeline: &Pipeline<'_>,
+        class: DrawClass,
+    ) -> RasterMetrics {
+        let mut inner = self.inner.lock();
+        self.submit(&mut inner);
+        inner.stats.draws += 1;
+        drop(inner);
+
+        let metrics = match indices {
+            Some(idx) => raster::draw_indexed(target, depth, vertices, idx, pipeline),
+            None => raster::draw_triangles(target, depth, vertices, pipeline),
+        };
+
+        let scale = self.class_scale(class);
+        self.clock.charge_ns_f64(
+            (metrics.vertices as f64 * self.cost.per_vertex_ns
+                + metrics.fragments as f64 * self.cost.per_fragment_ns)
+                * scale,
+        );
+        let mut inner = self.inner.lock();
+        inner.stats.vertices += metrics.vertices;
+        inner.stats.fragments += metrics.fragments;
+        metrics
+    }
+
+    /// Copies (and scales/converts) a rectangle between images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rectangle is out of bounds.
+    pub fn blit(&self, src: &Image, src_rect: Rect, dst: &Image, dst_rect: Rect, class: DrawClass) {
+        let mut inner = self.inner.lock();
+        self.submit(&mut inner);
+        inner.stats.blits += 1;
+        drop(inner);
+        let pixels = raster::blit(src, src_rect, dst, dst_rect);
+        self.clock.charge_ns_f64(
+            pixels as f64 * 4.0 * self.cost.per_copy_byte_ns * self.class_scale(class),
+        );
+    }
+
+    /// Charges for uploading `bytes` of texel data from CPU memory (the
+    /// caller performs the actual pixel writes through [`Image`]).
+    pub fn charge_upload(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        self.submit(&mut inner);
+        inner.stats.upload_bytes += bytes;
+        drop(inner);
+        self.clock
+            .charge_ns_f64(bytes as f64 * self.cost.per_upload_byte_ns);
+    }
+
+    /// Charges for reading `bytes` back from GPU memory (`glReadPixels`).
+    pub fn charge_readback(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        self.submit(&mut inner);
+        drop(inner);
+        self.clock
+            .charge_ns_f64(bytes as f64 * self.cost.per_copy_byte_ns);
+    }
+
+    /// Charges the fixed cost of compiling and linking a shader program.
+    pub fn charge_link_program(&self) {
+        let mut inner = self.inner.lock();
+        self.submit(&mut inner);
+        drop(inner);
+        self.clock.charge_ns(self.cost.link_program_ns);
+    }
+
+    /// Charges the fixed cost of the display controller latching a frame.
+    pub fn charge_present(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats.presents += 1;
+        drop(inner);
+        self.clock.charge_ns(self.cost.present_fixed_ns);
+    }
+
+    /// Fixed present cost (exposed for schedulers that batch frames).
+    pub fn present_cost_ns(&self) -> Nanos {
+        self.cost.present_fixed_ns
+    }
+
+    // ------------------------------------------------------------------
+    // Fences
+    // ------------------------------------------------------------------
+
+    /// Generates a new (unset) fence object.
+    pub fn gen_fence(&self) -> FenceId {
+        let mut inner = self.inner.lock();
+        inner.next_fence += 1;
+        let id = FenceId(inner.next_fence);
+        inner.fences.insert(
+            id,
+            Fence {
+                id,
+                condition: FenceCondition::default(),
+                set_at_seq: 0,
+                set: false,
+            },
+        );
+        id
+    }
+
+    /// Returns `true` if `id` names a live fence.
+    pub fn is_fence(&self, id: FenceId) -> bool {
+        self.inner.lock().fences.contains_key(&id)
+    }
+
+    /// Sets a fence into the command stream with the given condition.
+    ///
+    /// Returns `false` if the fence does not exist.
+    pub fn set_fence(&self, id: FenceId, condition: FenceCondition) -> bool {
+        let mut inner = self.inner.lock();
+        let seq = inner.submitted_seq;
+        let Some(f) = inner.fences.get_mut(&id) else {
+            return false;
+        };
+        f.condition = condition;
+        f.set_at_seq = seq;
+        f.set = true;
+        inner.stats.fences_set += 1;
+        true
+    }
+
+    /// Polls a fence. An unset fence tests as signaled (NV_fence rule).
+    ///
+    /// Returns `None` if the fence does not exist.
+    pub fn test_fence(&self, id: FenceId) -> Option<bool> {
+        let inner = self.inner.lock();
+        inner
+            .fences
+            .get(&id)
+            .map(|f| !f.set || inner.retired_seq >= f.set_at_seq)
+    }
+
+    /// Blocks until a fence signals: flushes the pipeline and retires all
+    /// submitted work.
+    ///
+    /// Returns `false` if the fence does not exist.
+    pub fn finish_fence(&self, id: FenceId) -> bool {
+        if !self.is_fence(id) {
+            return false;
+        }
+        self.flush();
+        true
+    }
+
+    /// Deletes a fence. Unknown IDs are ignored (GL delete semantics).
+    pub fn delete_fence(&self, id: FenceId) {
+        self.inner.lock().fences.remove(&id);
+    }
+
+    /// Flushes the pipeline: all submitted work retires, signaling fences.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        inner.retired_seq = inner.submitted_seq;
+        inner.stats.flushes += 1;
+        drop(inner);
+        // Flush drains the command queue; cost scales with nothing we track
+        // per-command, so charge a fixed submit cost.
+        self.clock.charge_ns(self.cost.command_submit_ns);
+    }
+
+    /// Snapshot of execution counters.
+    pub fn stats(&self) -> GpuStats {
+        self.inner.lock().stats
+    }
+}
+
+impl fmt::Debug for GpuDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("GpuDevice")
+            .field("submitted", &inner.submitted_seq)
+            .field("retired", &inner.retired_seq)
+            .field("fences", &inner.fences.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::PixelFormat;
+
+    fn device() -> GpuDevice {
+        GpuDevice::new(VirtualClock::new(), GpuCostModel::tegra3())
+    }
+
+    #[test]
+    fn clear_charges_per_pixel() {
+        let gpu = device();
+        let img = Image::new(100, 100, PixelFormat::Rgba8888);
+        let before = gpu.clock().now_ns();
+        gpu.clear(&img, Rgba::WHITE, DrawClass::ThreeD);
+        let cost = gpu.clock().now_ns() - before;
+        // 10_000 pixels * 0.9 ns + 900 submit = 9_900.
+        assert_eq!(cost, 9_900);
+        assert_eq!(img.pixel_rgba(50, 50).to_bytes(), [255, 255, 255, 255]);
+        assert_eq!(gpu.stats().clears, 1);
+    }
+
+    #[test]
+    fn class_scale_affects_cost() {
+        let mut cost = GpuCostModel::tegra3();
+        cost.scale_2d = 2.0;
+        cost.command_submit_ns = 0;
+        let gpu = GpuDevice::new(VirtualClock::new(), cost);
+        let img = Image::new(10, 10, PixelFormat::Rgba8888);
+        let before = gpu.clock().now_ns();
+        gpu.clear(&img, Rgba::BLACK, DrawClass::TwoD);
+        let two_d = gpu.clock().now_ns() - before;
+        let before = gpu.clock().now_ns();
+        gpu.clear(&img, Rgba::BLACK, DrawClass::ThreeD);
+        let three_d = gpu.clock().now_ns() - before;
+        assert_eq!(two_d, 2 * three_d);
+    }
+
+    #[test]
+    fn draw_reports_and_charges_work() {
+        let gpu = device();
+        let img = Image::new(8, 8, PixelFormat::Rgba8888);
+        let verts = vec![
+            Vertex::colored([-1.0, -1.0, 0.0], Rgba::RED),
+            Vertex::colored([3.0, -1.0, 0.0], Rgba::RED),
+            Vertex::colored([-1.0, 3.0, 0.0], Rgba::RED),
+        ];
+        let before = gpu.clock().now_ns();
+        let m = gpu.draw(&img, None, &verts, None, &Pipeline::default(), DrawClass::ThreeD);
+        assert_eq!(m.vertices, 3);
+        assert_eq!(m.fragments, 64);
+        assert!(gpu.clock().now_ns() > before);
+        let stats = gpu.stats();
+        assert_eq!(stats.draws, 1);
+        assert_eq!(stats.vertices, 3);
+        assert_eq!(stats.fragments, 64);
+    }
+
+    #[test]
+    fn fence_lifecycle() {
+        let gpu = device();
+        let f = gpu.gen_fence();
+        assert!(gpu.is_fence(f));
+        // Unset fences test as signaled.
+        assert_eq!(gpu.test_fence(f), Some(true));
+
+        let img = Image::new(4, 4, PixelFormat::Rgba8888);
+        gpu.clear(&img, Rgba::BLACK, DrawClass::ThreeD);
+        assert!(gpu.set_fence(f, FenceCondition::AllCompleted));
+        // Work not yet retired.
+        assert_eq!(gpu.test_fence(f), Some(false));
+        gpu.flush();
+        assert_eq!(gpu.test_fence(f), Some(true));
+
+        gpu.delete_fence(f);
+        assert!(!gpu.is_fence(f));
+        assert_eq!(gpu.test_fence(f), None);
+        assert!(!gpu.set_fence(f, FenceCondition::AllCompleted));
+        assert!(!gpu.finish_fence(f));
+    }
+
+    #[test]
+    fn finish_fence_flushes() {
+        let gpu = device();
+        let f = gpu.gen_fence();
+        let img = Image::new(4, 4, PixelFormat::Rgba8888);
+        gpu.clear(&img, Rgba::BLACK, DrawClass::ThreeD);
+        gpu.set_fence(f, FenceCondition::AllCompleted);
+        assert!(gpu.finish_fence(f));
+        assert_eq!(gpu.test_fence(f), Some(true));
+    }
+
+    #[test]
+    fn upload_and_link_charges() {
+        let gpu = device();
+        let before = gpu.clock().now_ns();
+        gpu.charge_upload(1000);
+        // 1000 * 0.12 = 120 + 900 submit
+        assert_eq!(gpu.clock().now_ns() - before, 1020);
+        let before = gpu.clock().now_ns();
+        gpu.charge_link_program();
+        assert_eq!(
+            gpu.clock().now_ns() - before,
+            900 + GpuCostModel::tegra3().link_program_ns
+        );
+        assert_eq!(gpu.stats().upload_bytes, 1000);
+    }
+
+    #[test]
+    fn present_counts_frames() {
+        let gpu = device();
+        gpu.charge_present();
+        gpu.charge_present();
+        assert_eq!(gpu.stats().presents, 2);
+    }
+
+    #[test]
+    fn blit_converts_between_images() {
+        let gpu = device();
+        let src = Image::new(2, 2, PixelFormat::Rgba8888);
+        src.fill(Rgba::GREEN);
+        let dst = Image::new(8, 8, PixelFormat::Bgra8888);
+        gpu.blit(&src, Rect::of_image(&src), &dst, Rect::of_image(&dst), DrawClass::TwoD);
+        assert_eq!(dst.pixel_rgba(7, 7).to_bytes(), [0, 255, 0, 255]);
+        assert_eq!(gpu.stats().blits, 1);
+    }
+}

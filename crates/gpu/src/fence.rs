@@ -1,0 +1,53 @@
+//! GPU fences with NV_fence-style semantics.
+//!
+//! The paper's indirect-diplomat example maps the iOS `APPLE_fence`
+//! extension onto the Tegra's `NV_fence` (§4.1). Both expose the same
+//! model: a fence is *set* into the command stream, becomes *signaled* once
+//! all prior commands complete, can be *tested* (polled) or *finished*
+//! (blocking wait, which implies a flush).
+
+use std::fmt;
+
+/// Identifier of a fence object within one [`crate::GpuDevice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FenceId(pub(crate) u64);
+
+impl fmt::Display for FenceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fence#{}", self.0)
+    }
+}
+
+/// The condition a fence waits for. `NV_fence` defines only
+/// `ALL_COMPLETED_NV`; the Apple extension mirrors it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FenceCondition {
+    /// Signaled when all commands issued before the fence have completed.
+    #[default]
+    AllCompleted,
+}
+
+/// Internal fence state tracked by the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fence {
+    pub(crate) id: FenceId,
+    pub(crate) condition: FenceCondition,
+    /// The device command sequence number at which this fence was set;
+    /// the fence signals once the device has retired past it.
+    pub(crate) set_at_seq: u64,
+    /// Whether the fence has been set at all (a fresh gen'd fence is
+    /// "unset" and tests as signaled per the NV spec).
+    pub(crate) set: bool,
+}
+
+impl Fence {
+    /// The fence's identifier.
+    pub fn id(&self) -> FenceId {
+        self.id
+    }
+
+    /// The fence's wait condition.
+    pub fn condition(&self) -> FenceCondition {
+        self.condition
+    }
+}

@@ -1,0 +1,292 @@
+//! Row-padded image storage over shared zero-copy buffers.
+
+use std::fmt;
+
+use cycada_sim::SharedBuffer;
+
+use crate::format::{PixelFormat, Rgba};
+
+/// A 2D pixel surface: textures, renderbuffers, IOSurface/GraphicBuffer
+/// pixel stores and the display scanout are all `Image`s.
+///
+/// Storage is a [`SharedBuffer`], so an `Image` can alias memory owned by a
+/// simulated IOSurface or GraphicBuffer (the zero-copy property). Rows may
+/// be padded: `row_bytes >= width * bytes_per_pixel`, which is exactly the
+/// state the `APPLE_row_bytes` extension manipulates.
+#[derive(Clone)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    format: PixelFormat,
+    row_bytes: usize,
+    buffer: SharedBuffer,
+}
+
+impl Image {
+    /// Allocates a tightly packed image.
+    pub fn new(width: u32, height: u32, format: PixelFormat) -> Self {
+        let row_bytes = width as usize * format.bytes_per_pixel();
+        Self::with_row_bytes(width, height, format, row_bytes)
+    }
+
+    /// Allocates an image with explicit row padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bytes` is smaller than one tightly packed row.
+    pub fn with_row_bytes(width: u32, height: u32, format: PixelFormat, row_bytes: usize) -> Self {
+        assert!(
+            row_bytes >= width as usize * format.bytes_per_pixel(),
+            "row_bytes too small for width"
+        );
+        let buffer = SharedBuffer::zeroed(row_bytes * height as usize);
+        Image {
+            width,
+            height,
+            format,
+            row_bytes,
+            buffer,
+        }
+    }
+
+    /// Wraps existing shared memory (e.g. an IOSurface's backing store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is too small for the described geometry.
+    pub fn from_buffer(
+        width: u32,
+        height: u32,
+        format: PixelFormat,
+        row_bytes: usize,
+        buffer: SharedBuffer,
+    ) -> Self {
+        assert!(
+            row_bytes >= width as usize * format.bytes_per_pixel(),
+            "row_bytes too small for width"
+        );
+        assert!(
+            buffer.len() >= row_bytes * height as usize,
+            "buffer too small for image geometry"
+        );
+        Image {
+            width,
+            height,
+            format,
+            row_bytes,
+            buffer,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The pixel format.
+    pub fn format(&self) -> PixelFormat {
+        self.format
+    }
+
+    /// Bytes per row, including padding.
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Total pixels.
+    pub fn pixel_count(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// The backing shared memory.
+    pub fn buffer(&self) -> &SharedBuffer {
+        &self.buffer
+    }
+
+    /// Whether this image aliases the same memory as `other`.
+    pub fn aliases(&self, other: &Image) -> bool {
+        self.buffer.same_allocation(&other.buffer)
+    }
+
+    fn offset(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y as usize * self.row_bytes + x as usize * self.format.bytes_per_pixel()
+    }
+
+    /// Reads one pixel as raw format bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn pixel(&self, x: u32, y: u32) -> [u8; 4] {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        let bpp = self.format.bytes_per_pixel();
+        let off = self.offset(x, y);
+        self.buffer.read(|bytes| {
+            let mut out = [0u8; 4];
+            out[..bpp].copy_from_slice(&bytes[off..off + bpp]);
+            out
+        })
+    }
+
+    /// Reads one pixel as an RGBA color.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn pixel_rgba(&self, x: u32, y: u32) -> Rgba {
+        let bpp = self.format.bytes_per_pixel();
+        let raw = self.pixel(x, y);
+        self.format.decode(&raw[..bpp])
+    }
+
+    /// Writes one pixel from an RGBA color.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn set_pixel(&self, x: u32, y: u32, color: Rgba) {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        let bpp = self.format.bytes_per_pixel();
+        let off = self.offset(x, y);
+        self.buffer.write(|bytes| {
+            self.format.encode(color, &mut bytes[off..off + bpp]);
+        });
+    }
+
+    /// Fills the whole image (including padding rows' pixels) with a color.
+    pub fn fill(&self, color: Rgba) {
+        let bpp = self.format.bytes_per_pixel();
+        let mut px = vec![0u8; bpp];
+        self.format.encode(color, &mut px);
+        let width = self.width as usize;
+        let row_bytes = self.row_bytes;
+        self.buffer.write(|bytes| {
+            for y in 0..self.height as usize {
+                let row = &mut bytes[y * row_bytes..y * row_bytes + width * bpp];
+                for chunk in row.chunks_exact_mut(bpp) {
+                    chunk.copy_from_slice(&px);
+                }
+            }
+        });
+    }
+
+    /// Copies pixel data out into a tightly packed RGBA8888 vector —
+    /// the canonical form used by tests to compare renderings
+    /// across formats and paddings.
+    pub fn to_rgba_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixel_count() as usize * 4);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.extend_from_slice(&self.pixel_rgba(x, y).to_bytes());
+            }
+        }
+        out
+    }
+
+    /// A 64-bit FNV-1a hash of the canonical RGBA pixels — used for
+    /// "pixel for pixel" comparisons like the paper's Acid3 check.
+    pub fn pixel_hash(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.to_rgba_vec() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+impl fmt::Debug for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Image")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .field("format", &self.format)
+            .field("row_bytes", &self.row_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_allocation_geometry() {
+        let img = Image::new(10, 5, PixelFormat::Rgba8888);
+        assert_eq!(img.width(), 10);
+        assert_eq!(img.height(), 5);
+        assert_eq!(img.row_bytes(), 40);
+        assert_eq!(img.buffer().len(), 200);
+        assert_eq!(img.pixel_count(), 50);
+    }
+
+    #[test]
+    fn padded_rows_respected() {
+        let img = Image::with_row_bytes(2, 2, PixelFormat::Rgba8888, 16);
+        img.set_pixel(1, 1, Rgba::WHITE);
+        // offset = 1*16 + 1*4 = 20
+        assert_eq!(img.buffer().read(|b| b[20]), 255);
+        assert_eq!(img.pixel_rgba(1, 1).to_bytes(), [255, 255, 255, 255]);
+        assert_eq!(img.pixel_rgba(0, 1).to_bytes(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_bytes too small")]
+    fn undersized_row_bytes_panics() {
+        Image::with_row_bytes(4, 1, PixelFormat::Rgba8888, 8);
+    }
+
+    #[test]
+    fn from_buffer_aliases() {
+        let buf = SharedBuffer::zeroed(64);
+        let a = Image::from_buffer(4, 4, PixelFormat::Rgba8888, 16, buf.clone());
+        let b = Image::from_buffer(4, 4, PixelFormat::Bgra8888, 16, buf);
+        a.set_pixel(0, 0, Rgba::RED);
+        // Same bytes, interpreted as BGRA -> blue.
+        assert_eq!(b.pixel_rgba(0, 0).to_bytes(), [0, 0, 255, 255]);
+        assert!(a.aliases(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too small")]
+    fn from_buffer_too_small_panics() {
+        Image::from_buffer(4, 4, PixelFormat::Rgba8888, 16, SharedBuffer::zeroed(32));
+    }
+
+    #[test]
+    fn fill_and_hash() {
+        let a = Image::new(8, 8, PixelFormat::Rgba8888);
+        let b = Image::new(8, 8, PixelFormat::Bgra8888);
+        a.fill(Rgba::GREEN);
+        b.fill(Rgba::GREEN);
+        // Canonical RGBA comparison sees identical pixels across formats.
+        assert_eq!(a.pixel_hash(), b.pixel_hash());
+        assert_eq!(a.to_rgba_vec(), b.to_rgba_vec());
+
+        b.set_pixel(7, 7, Rgba::RED);
+        assert_ne!(a.pixel_hash(), b.pixel_hash());
+    }
+
+    #[test]
+    fn fill_skips_row_padding() {
+        let img = Image::with_row_bytes(1, 2, PixelFormat::Alpha8, 3);
+        img.fill(Rgba::new(0.0, 0.0, 0.0, 1.0));
+        img.buffer().read(|b| {
+            assert_eq!(b[0], 255);
+            assert_eq!(b[1], 0, "padding untouched");
+            assert_eq!(b[3], 255);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pixel_panics() {
+        Image::new(2, 2, PixelFormat::Rgba8888).pixel(2, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal 4×4 matrix and vector math for the fixed-function pipeline and
+//! the GLES v1 matrix stacks.
+
+/// A column-major 4×4 matrix (OpenGL convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// Column-major elements: `m[col][row]`.
+    pub m: [[f32; 4]; 4],
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Mat4::identity()
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut m = [[0.0; 4]; 4];
+        for (i, col) in m.iter_mut().enumerate() {
+            col[i] = 1.0;
+        }
+        Mat4 { m }
+    }
+
+    /// A translation matrix.
+    pub fn translate(x: f32, y: f32, z: f32) -> Self {
+        let mut out = Mat4::identity();
+        out.m[3][0] = x;
+        out.m[3][1] = y;
+        out.m[3][2] = z;
+        out
+    }
+
+    /// A non-uniform scale matrix.
+    pub fn scale(x: f32, y: f32, z: f32) -> Self {
+        let mut out = Mat4::identity();
+        out.m[0][0] = x;
+        out.m[1][1] = y;
+        out.m[2][2] = z;
+        out
+    }
+
+    /// Rotation of `degrees` about the Z axis (the common 2D/sprite case,
+    /// and what PassMark's `glRotatef` calls overwhelmingly use).
+    pub fn rotate_z(degrees: f32) -> Self {
+        let rad = degrees.to_radians();
+        let (s, c) = rad.sin_cos();
+        let mut out = Mat4::identity();
+        out.m[0][0] = c;
+        out.m[0][1] = s;
+        out.m[1][0] = -s;
+        out.m[1][1] = c;
+        out
+    }
+
+    /// Rotation about an arbitrary axis, matching `glRotatef` semantics.
+    pub fn rotate(degrees: f32, x: f32, y: f32, z: f32) -> Self {
+        let len = (x * x + y * y + z * z).sqrt();
+        if len <= f32::EPSILON {
+            return Mat4::identity();
+        }
+        let (x, y, z) = (x / len, y / len, z / len);
+        let rad = degrees.to_radians();
+        let (s, c) = rad.sin_cos();
+        let t = 1.0 - c;
+        Mat4 {
+            m: [
+                [t * x * x + c, t * x * y + s * z, t * x * z - s * y, 0.0],
+                [t * x * y - s * z, t * y * y + c, t * y * z + s * x, 0.0],
+                [t * x * z + s * y, t * y * z - s * x, t * z * z + c, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ],
+        }
+    }
+
+    /// An orthographic projection matching `glOrthof`.
+    pub fn ortho(left: f32, right: f32, bottom: f32, top: f32, near: f32, far: f32) -> Self {
+        let mut out = Mat4::identity();
+        out.m[0][0] = 2.0 / (right - left);
+        out.m[1][1] = 2.0 / (top - bottom);
+        out.m[2][2] = -2.0 / (far - near);
+        out.m[3][0] = -(right + left) / (right - left);
+        out.m[3][1] = -(top + bottom) / (top - bottom);
+        out.m[3][2] = -(far + near) / (far - near);
+        out
+    }
+
+    /// A perspective frustum matching `glFrustumf`.
+    pub fn frustum(left: f32, right: f32, bottom: f32, top: f32, near: f32, far: f32) -> Self {
+        let mut m = [[0.0f32; 4]; 4];
+        m[0][0] = 2.0 * near / (right - left);
+        m[1][1] = 2.0 * near / (top - bottom);
+        m[2][0] = (right + left) / (right - left);
+        m[2][1] = (top + bottom) / (top - bottom);
+        m[2][2] = -(far + near) / (far - near);
+        m[2][3] = -1.0;
+        m[3][2] = -2.0 * far * near / (far - near);
+        Mat4 { m }
+    }
+
+    /// Matrix product `self * rhs` (applies `rhs` first).
+    pub fn mul(&self, rhs: &Mat4) -> Mat4 {
+        let mut out = [[0.0f32; 4]; 4];
+        for (c, out_col) in out.iter_mut().enumerate() {
+            for (r, out_cell) in out_col.iter_mut().enumerate() {
+                *out_cell = (0..4).map(|k| self.m[k][r] * rhs.m[c][k]).sum();
+            }
+        }
+        Mat4 { m: out }
+    }
+
+    /// Transforms a 4-component vector.
+    pub fn transform(&self, v: [f32; 4]) -> [f32; 4] {
+        let mut out = [0.0f32; 4];
+        for (r, out_r) in out.iter_mut().enumerate() {
+            *out_r = (0..4).map(|c| self.m[c][r] * v[c]).sum();
+        }
+        out
+    }
+
+    /// Transforms a 3D point with implicit w = 1.
+    pub fn transform_point(&self, p: [f32; 3]) -> [f32; 4] {
+        self.transform([p[0], p[1], p[2], 1.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_vec_eq(a: [f32; 4], b: [f32; 4]) {
+        for i in 0..4 {
+            assert!((a[i] - b[i]).abs() < 1e-4, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let v = [1.0, 2.0, 3.0, 1.0];
+        assert_vec_eq(Mat4::identity().transform(v), v);
+    }
+
+    #[test]
+    fn translate_moves_points() {
+        let m = Mat4::translate(1.0, -2.0, 0.5);
+        assert_vec_eq(m.transform_point([0.0, 0.0, 0.0]), [1.0, -2.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn scale_scales() {
+        let m = Mat4::scale(2.0, 3.0, 4.0);
+        assert_vec_eq(m.transform_point([1.0, 1.0, 1.0]), [2.0, 3.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn rotate_z_quarter_turn() {
+        let m = Mat4::rotate_z(90.0);
+        assert_vec_eq(m.transform_point([1.0, 0.0, 0.0]), [0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn rotate_matches_rotate_z() {
+        let a = Mat4::rotate(37.0, 0.0, 0.0, 1.0);
+        let b = Mat4::rotate_z(37.0);
+        for c in 0..4 {
+            for r in 0..4 {
+                assert!((a.m[c][r] - b.m[c][r]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_zero_axis_is_identity() {
+        assert_eq!(Mat4::rotate(45.0, 0.0, 0.0, 0.0), Mat4::identity());
+    }
+
+    #[test]
+    fn mul_composes_right_to_left() {
+        let t = Mat4::translate(1.0, 0.0, 0.0);
+        let s = Mat4::scale(2.0, 2.0, 2.0);
+        // (t * s): scale first, then translate.
+        let m = t.mul(&s);
+        assert_vec_eq(m.transform_point([1.0, 0.0, 0.0]), [3.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn ortho_maps_corners_to_ndc() {
+        let m = Mat4::ortho(0.0, 100.0, 0.0, 50.0, -1.0, 1.0);
+        assert_vec_eq(m.transform_point([0.0, 0.0, 0.0]), [-1.0, -1.0, 0.0, 1.0]);
+        assert_vec_eq(m.transform_point([100.0, 50.0, 0.0]), [1.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn frustum_produces_perspective_w() {
+        let m = Mat4::frustum(-1.0, 1.0, -1.0, 1.0, 1.0, 10.0);
+        let out = m.transform_point([0.0, 0.0, -5.0]);
+        assert!((out[3] - 5.0).abs() < 1e-4, "w should equal -z");
+    }
+}

@@ -1,0 +1,488 @@
+//! The deterministic software triangle rasterizer.
+//!
+//! This is the "black-box GPU hardware" of the simulation: it consumes
+//! transformed vertices and produces pixels. It is intentionally small —
+//! flat/interpolated color, nearest-neighbour texturing, source-over
+//! blending and a depth buffer — but fully deterministic, so two renderings
+//! of the same scene through different API stacks can be compared
+//! byte-for-byte (the paper's "pixel for pixel" Acid3 criterion).
+
+use crate::format::Rgba;
+use crate::image::Image;
+use crate::math::Mat4;
+
+/// One input vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vertex {
+    /// Object-space position.
+    pub pos: [f32; 3],
+    /// Vertex color.
+    pub color: Rgba,
+    /// Texture coordinate (ignored when the pipeline has no texture).
+    pub uv: [f32; 2],
+}
+
+impl Vertex {
+    /// A colored, untextured vertex.
+    pub fn colored(pos: [f32; 3], color: Rgba) -> Self {
+        Vertex {
+            pos,
+            color,
+            uv: [0.0, 0.0],
+        }
+    }
+
+    /// A textured vertex with white base color.
+    pub fn textured(pos: [f32; 3], uv: [f32; 2]) -> Self {
+        Vertex {
+            pos,
+            color: Rgba::WHITE,
+            uv,
+        }
+    }
+}
+
+/// Fragment blending mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlendMode {
+    /// Source replaces destination.
+    #[default]
+    Opaque,
+    /// Source-over alpha blending.
+    Alpha,
+}
+
+/// Fixed-function pipeline state for one draw.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pipeline<'a> {
+    /// Combined model-view-projection transform.
+    pub transform: Mat4,
+    /// Bound texture, if any. Sampled nearest, clamped to edge, modulated
+    /// by the interpolated vertex color.
+    pub texture: Option<&'a Image>,
+    /// Blending mode.
+    pub blend: BlendMode,
+    /// Whether to depth-test (requires a depth buffer on the draw call).
+    pub depth_test: bool,
+    /// Pixel-space clip rectangle (GL clips primitives to the clip volume,
+    /// which the viewport transform maps to this rectangle). `None` clips
+    /// to the whole target.
+    pub clip: Option<Rect>,
+}
+
+/// Work actually performed by a draw, used by the device to charge
+/// virtual-time costs proportional to real work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RasterMetrics {
+    /// Vertices transformed.
+    pub vertices: u64,
+    /// Fragments shaded (pixels covered by triangles).
+    pub fragments: u64,
+}
+
+impl RasterMetrics {
+    /// Component-wise sum.
+    pub fn merge(self, other: RasterMetrics) -> RasterMetrics {
+        RasterMetrics {
+            vertices: self.vertices + other.vertices,
+            fragments: self.fragments + other.fragments,
+        }
+    }
+}
+
+/// A simple rectangle (pixel coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl Rect {
+    /// A rectangle covering a whole image.
+    pub fn of_image(img: &Image) -> Rect {
+        Rect {
+            x: 0,
+            y: 0,
+            w: img.width(),
+            h: img.height(),
+        }
+    }
+}
+
+/// Allocates a depth buffer (initialized to the far plane) for `target`.
+pub fn depth_buffer_for(target: &Image) -> Vec<f32> {
+    vec![f32::INFINITY; target.pixel_count() as usize]
+}
+
+/// Draws a triangle list: every 3 vertices form one triangle.
+///
+/// Returns the work performed. Triangles with any vertex at `w <= 0`
+/// (behind the eye) are skipped rather than clipped — the simulated
+/// workloads never straddle the near plane.
+pub fn draw_triangles(
+    target: &Image,
+    depth: Option<&mut [f32]>,
+    vertices: &[Vertex],
+    pipeline: &Pipeline<'_>,
+) -> RasterMetrics {
+    let indices: Vec<u32> = (0..vertices.len() as u32).collect();
+    draw_indexed(target, depth, vertices, &indices, pipeline)
+}
+
+/// Draws an indexed triangle list.
+///
+/// # Panics
+///
+/// Panics if an index is out of range, or if `pipeline.depth_test` is set
+/// with a depth buffer of the wrong size.
+pub fn draw_indexed(
+    target: &Image,
+    mut depth: Option<&mut [f32]>,
+    vertices: &[Vertex],
+    indices: &[u32],
+    pipeline: &Pipeline<'_>,
+) -> RasterMetrics {
+    if let Some(d) = depth.as_deref() {
+        assert_eq!(
+            d.len(),
+            target.pixel_count() as usize,
+            "depth buffer size mismatch"
+        );
+    }
+    let mut metrics = RasterMetrics::default();
+    let width = target.width() as f32;
+    let height = target.height() as f32;
+    // Pixel bounds the fill loops may touch (the viewport/clip rectangle).
+    let (clip_x0, clip_y0, clip_x1, clip_y1) = match pipeline.clip {
+        Some(c) => (
+            c.x.min(target.width()),
+            c.y.min(target.height()),
+            (c.x + c.w).min(target.width()),
+            (c.y + c.h).min(target.height()),
+        ),
+        None => (0, 0, target.width(), target.height()),
+    };
+
+    // Transform all referenced vertices once.
+    let transformed: Vec<([f32; 4], Rgba, [f32; 2])> = vertices
+        .iter()
+        .map(|v| {
+            metrics.vertices += 1;
+            (pipeline.transform.transform_point(v.pos), v.color, v.uv)
+        })
+        .collect();
+
+    for tri in indices.chunks_exact(3) {
+        let [i0, i1, i2] = [tri[0] as usize, tri[1] as usize, tri[2] as usize];
+        let (c0, c1, c2) = (&transformed[i0], &transformed[i1], &transformed[i2]);
+        if c0.0[3] <= f32::EPSILON || c1.0[3] <= f32::EPSILON || c2.0[3] <= f32::EPSILON {
+            continue; // behind the eye; skip (no near clipping)
+        }
+        // Perspective divide and viewport transform (y flipped: NDC +y is
+        // up, image rows grow downward).
+        let to_screen = |c: &[f32; 4]| {
+            let inv_w = 1.0 / c[3];
+            [
+                (c[0] * inv_w + 1.0) * 0.5 * width,
+                (1.0 - (c[1] * inv_w + 1.0) * 0.5) * height,
+                c[2] * inv_w,
+            ]
+        };
+        let p0 = to_screen(&c0.0);
+        let p1 = to_screen(&c1.0);
+        let p2 = to_screen(&c2.0);
+
+        let area = edge(p0, p1, p2);
+        if area.abs() <= f32::EPSILON {
+            continue; // degenerate
+        }
+
+        let min_x = (p0[0].min(p1[0]).min(p2[0]).floor().max(0.0) as u32).max(clip_x0);
+        let max_x = ((p0[0].max(p1[0]).max(p2[0]).ceil() as i64)
+            .clamp(0, i64::from(target.width())) as u32)
+            .min(clip_x1);
+        let min_y = (p0[1].min(p1[1]).min(p2[1]).floor().max(0.0) as u32).max(clip_y0);
+        let max_y = ((p0[1].max(p1[1]).max(p2[1]).ceil() as i64)
+            .clamp(0, i64::from(target.height())) as u32)
+            .min(clip_y1);
+
+        for py in min_y..max_y {
+            for px in min_x..max_x {
+                let p = [px as f32 + 0.5, py as f32 + 0.5, 0.0];
+                let w0 = edge(p1, p2, p) / area;
+                let w1 = edge(p2, p0, p) / area;
+                let w2 = edge(p0, p1, p) / area;
+                if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                    continue;
+                }
+                metrics.fragments += 1;
+
+                let z = w0 * p0[2] + w1 * p1[2] + w2 * p2[2];
+                if pipeline.depth_test {
+                    if let Some(d) = depth.as_deref_mut() {
+                        let idx = py as usize * target.width() as usize + px as usize;
+                        if z > d[idx] {
+                            continue;
+                        }
+                        d[idx] = z;
+                    }
+                }
+
+                let mut color = Rgba {
+                    r: w0 * c0.1.r + w1 * c1.1.r + w2 * c2.1.r,
+                    g: w0 * c0.1.g + w1 * c1.1.g + w2 * c2.1.g,
+                    b: w0 * c0.1.b + w1 * c1.1.b + w2 * c2.1.b,
+                    a: w0 * c0.1.a + w1 * c1.1.a + w2 * c2.1.a,
+                };
+                if let Some(tex) = pipeline.texture {
+                    let u = w0 * c0.2[0] + w1 * c1.2[0] + w2 * c2.2[0];
+                    let v = w0 * c0.2[1] + w1 * c1.2[1] + w2 * c2.2[1];
+                    color = sample_nearest(tex, u, v).modulate(color);
+                }
+
+                let out = match pipeline.blend {
+                    BlendMode::Opaque => color,
+                    BlendMode::Alpha => color.over(target.pixel_rgba(px, py)),
+                };
+                target.set_pixel(px, py, out);
+            }
+        }
+    }
+    metrics
+}
+
+/// Copies `src_rect` of `src` into `dst_rect` of `dst` with nearest-neighbour
+/// scaling and format conversion. Returns the number of destination pixels
+/// written (the unit the device charges copy costs in).
+///
+/// # Panics
+///
+/// Panics if either rectangle exceeds its image bounds.
+pub fn blit(src: &Image, src_rect: Rect, dst: &Image, dst_rect: Rect) -> u64 {
+    assert!(
+        src_rect.x + src_rect.w <= src.width() && src_rect.y + src_rect.h <= src.height(),
+        "source rect out of bounds"
+    );
+    assert!(
+        dst_rect.x + dst_rect.w <= dst.width() && dst_rect.y + dst_rect.h <= dst.height(),
+        "destination rect out of bounds"
+    );
+    if dst_rect.w == 0 || dst_rect.h == 0 || src_rect.w == 0 || src_rect.h == 0 {
+        return 0;
+    }
+    for dy in 0..dst_rect.h {
+        let sy = src_rect.y + dy * src_rect.h / dst_rect.h;
+        for dx in 0..dst_rect.w {
+            let sx = src_rect.x + dx * src_rect.w / dst_rect.w;
+            let c = src.pixel_rgba(sx, sy);
+            dst.set_pixel(dst_rect.x + dx, dst_rect.y + dy, c);
+        }
+    }
+    u64::from(dst_rect.w) * u64::from(dst_rect.h)
+}
+
+fn edge(a: [f32; 3], b: [f32; 3], p: [f32; 3]) -> f32 {
+    (p[0] - a[0]) * (b[1] - a[1]) - (p[1] - a[1]) * (b[0] - a[0])
+}
+
+fn sample_nearest(tex: &Image, u: f32, v: f32) -> Rgba {
+    let x = ((u.clamp(0.0, 1.0) * tex.width() as f32) as u32).min(tex.width().saturating_sub(1));
+    let y = ((v.clamp(0.0, 1.0) * tex.height() as f32) as u32).min(tex.height().saturating_sub(1));
+    tex.pixel_rgba(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::PixelFormat;
+
+    fn fullscreen_tri() -> Vec<Vertex> {
+        // Covers the whole NDC square (and then some).
+        vec![
+            Vertex::colored([-1.0, -1.0, 0.0], Rgba::RED),
+            Vertex::colored([3.0, -1.0, 0.0], Rgba::RED),
+            Vertex::colored([-1.0, 3.0, 0.0], Rgba::RED),
+        ]
+    }
+
+    #[test]
+    fn fullscreen_triangle_covers_target() {
+        let img = Image::new(16, 16, PixelFormat::Rgba8888);
+        let m = draw_triangles(&img, None, &fullscreen_tri(), &Pipeline::default());
+        assert_eq!(m.vertices, 3);
+        assert_eq!(m.fragments, 16 * 16);
+        assert_eq!(img.pixel_rgba(0, 0).to_bytes(), [255, 0, 0, 255]);
+        assert_eq!(img.pixel_rgba(15, 15).to_bytes(), [255, 0, 0, 255]);
+    }
+
+    #[test]
+    fn half_screen_triangle_leaves_other_half() {
+        let img = Image::new(16, 16, PixelFormat::Rgba8888);
+        let verts = vec![
+            Vertex::colored([-1.0, -1.0, 0.0], Rgba::GREEN),
+            Vertex::colored([1.0, -1.0, 0.0], Rgba::GREEN),
+            Vertex::colored([-1.0, 1.0, 0.0], Rgba::GREEN),
+        ];
+        draw_triangles(&img, None, &verts, &Pipeline::default());
+        // Lower-left is covered, upper-right is not.
+        assert_eq!(img.pixel_rgba(1, 14).to_bytes(), [0, 255, 0, 255]);
+        assert_eq!(img.pixel_rgba(14, 1).to_bytes(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn transform_is_applied() {
+        let img = Image::new(16, 16, PixelFormat::Rgba8888);
+        // Draw in pixel space via an ortho transform.
+        let pipeline = Pipeline {
+            transform: Mat4::ortho(0.0, 16.0, 16.0, 0.0, -1.0, 1.0),
+            ..Pipeline::default()
+        };
+        let verts = vec![
+            Vertex::colored([0.0, 0.0, 0.0], Rgba::BLUE),
+            Vertex::colored([16.0, 0.0, 0.0], Rgba::BLUE),
+            Vertex::colored([0.0, 16.0, 0.0], Rgba::BLUE),
+        ];
+        draw_triangles(&img, None, &verts, &pipeline);
+        assert_eq!(img.pixel_rgba(0, 0).to_bytes(), [0, 0, 255, 255]);
+        assert_eq!(img.pixel_rgba(15, 15).to_bytes(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn texture_modulates() {
+        let tex = Image::new(2, 2, PixelFormat::Rgba8888);
+        tex.fill(Rgba::new(0.0, 1.0, 0.0, 1.0));
+        let img = Image::new(8, 8, PixelFormat::Rgba8888);
+        let verts: Vec<Vertex> = [
+            ([-1.0, -1.0, 0.0], [0.0, 0.0]),
+            ([3.0, -1.0, 0.0], [2.0, 0.0]),
+            ([-1.0, 3.0, 0.0], [0.0, 2.0]),
+        ]
+        .iter()
+        .map(|&(p, uv)| Vertex::textured(p, uv))
+        .collect();
+        let pipeline = Pipeline {
+            texture: Some(&tex),
+            ..Pipeline::default()
+        };
+        draw_triangles(&img, None, &verts, &pipeline);
+        assert_eq!(img.pixel_rgba(4, 4).to_bytes(), [0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn alpha_blend_mixes_with_destination() {
+        let img = Image::new(4, 4, PixelFormat::Rgba8888);
+        img.fill(Rgba::BLUE);
+        let mut verts = fullscreen_tri();
+        for v in &mut verts {
+            v.color = Rgba::new(1.0, 0.0, 0.0, 0.5);
+        }
+        let pipeline = Pipeline {
+            blend: BlendMode::Alpha,
+            ..Pipeline::default()
+        };
+        draw_triangles(&img, None, &verts, &pipeline);
+        let px = img.pixel_rgba(2, 2).to_bytes();
+        assert!(px[0] > 100 && px[2] > 100, "mixed red+blue: {px:?}");
+    }
+
+    #[test]
+    fn depth_test_keeps_nearer_fragment() {
+        let img = Image::new(4, 4, PixelFormat::Rgba8888);
+        let mut depth = depth_buffer_for(&img);
+        let near = fullscreen_tri()
+            .iter()
+            .map(|v| Vertex::colored([v.pos[0], v.pos[1], 0.0], Rgba::GREEN))
+            .collect::<Vec<_>>();
+        let far = fullscreen_tri()
+            .iter()
+            .map(|v| Vertex::colored([v.pos[0], v.pos[1], 0.9], Rgba::RED))
+            .collect::<Vec<_>>();
+        let pipeline = Pipeline {
+            depth_test: true,
+            ..Pipeline::default()
+        };
+        draw_triangles(&img, Some(&mut depth), &near, &pipeline);
+        draw_triangles(&img, Some(&mut depth), &far, &pipeline);
+        assert_eq!(img.pixel_rgba(2, 2).to_bytes(), [0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn behind_eye_triangles_are_skipped() {
+        let img = Image::new(4, 4, PixelFormat::Rgba8888);
+        let pipeline = Pipeline {
+            transform: Mat4::frustum(-1.0, 1.0, -1.0, 1.0, 1.0, 10.0),
+            ..Pipeline::default()
+        };
+        // z = +5 is behind the eye for this frustum.
+        let verts = vec![
+            Vertex::colored([-1.0, -1.0, 5.0], Rgba::RED),
+            Vertex::colored([1.0, -1.0, 5.0], Rgba::RED),
+            Vertex::colored([0.0, 1.0, 5.0], Rgba::RED),
+        ];
+        let m = draw_triangles(&img, None, &verts, &pipeline);
+        assert_eq!(m.fragments, 0);
+        assert_eq!(img.pixel_rgba(2, 2).to_bytes(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn blit_scales_and_converts() {
+        let src = Image::new(2, 2, PixelFormat::Bgra8888);
+        src.fill(Rgba::RED);
+        let dst = Image::new(4, 4, PixelFormat::Rgba8888);
+        let n = blit(&src, Rect::of_image(&src), &dst, Rect::of_image(&dst));
+        assert_eq!(n, 16);
+        assert_eq!(dst.pixel_rgba(3, 3).to_bytes(), [255, 0, 0, 255]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source rect out of bounds")]
+    fn blit_validates_rects() {
+        let src = Image::new(2, 2, PixelFormat::Rgba8888);
+        let dst = Image::new(2, 2, PixelFormat::Rgba8888);
+        blit(
+            &src,
+            Rect { x: 1, y: 1, w: 2, h: 2 },
+            &dst,
+            Rect::of_image(&dst),
+        );
+    }
+
+    #[test]
+    fn fully_offscreen_triangle_draws_nothing_and_terminates() {
+        // Regression: a triangle entirely left of the viewport once
+        // produced a negative max_x that wrapped to ~4 billion when cast
+        // to u32, turning the fill loop into an effectively infinite scan.
+        let img = Image::new(8, 8, PixelFormat::Rgba8888);
+        let verts = vec![
+            Vertex::colored([-3.0, -0.5, 0.0], Rgba::RED),
+            Vertex::colored([-2.0, -0.5, 0.0], Rgba::RED),
+            Vertex::colored([-2.5, 0.5, 0.0], Rgba::RED),
+        ];
+        let m = draw_triangles(&img, None, &verts, &Pipeline::default());
+        assert_eq!(m.fragments, 0);
+        // Above the viewport too.
+        let verts = vec![
+            Vertex::colored([-0.5, 3.0, 0.0], Rgba::RED),
+            Vertex::colored([0.5, 3.0, 0.0], Rgba::RED),
+            Vertex::colored([0.0, 2.0, 0.0], Rgba::RED),
+        ];
+        let m = draw_triangles(&img, None, &verts, &Pipeline::default());
+        assert_eq!(m.fragments, 0);
+    }
+
+    #[test]
+    fn degenerate_triangle_draws_nothing() {
+        let img = Image::new(4, 4, PixelFormat::Rgba8888);
+        let verts = vec![
+            Vertex::colored([0.0, 0.0, 0.0], Rgba::RED); 3
+        ];
+        let m = draw_triangles(&img, None, &verts, &Pipeline::default());
+        assert_eq!(m.fragments, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the software GPU.
+
+use proptest::prelude::*;
+
+use cycada_gpu::math::Mat4;
+use cycada_gpu::raster::{self, Pipeline, Rect};
+use cycada_gpu::{Image, PixelFormat, Rgba, Vertex};
+
+fn arb_color() -> impl Strategy<Value = Rgba> {
+    (0.0f32..=1.0, 0.0f32..=1.0, 0.0f32..=1.0, 0.0f32..=1.0)
+        .prop_map(|(r, g, b, a)| Rgba::new(r, g, b, a))
+}
+
+fn arb_vertex() -> impl Strategy<Value = Vertex> {
+    (
+        -10.0f32..10.0,
+        -10.0f32..10.0,
+        -10.0f32..10.0,
+        arb_color(),
+    )
+        .prop_map(|(x, y, z, color)| Vertex::colored([x, y, z], color))
+}
+
+proptest! {
+    #[test]
+    fn rgba_bytes_round_trip(r: u8, g: u8, b: u8, a: u8) {
+        let c = Rgba::from_bytes([r, g, b, a]);
+        prop_assert_eq!(c.to_bytes(), [r, g, b, a]);
+        // BGRA encode/decode is lossless too.
+        let mut buf = [0u8; 4];
+        PixelFormat::Bgra8888.encode(c, &mut buf);
+        prop_assert_eq!(PixelFormat::Bgra8888.decode(&buf).to_bytes(), [r, g, b, a]);
+    }
+
+    #[test]
+    fn rgb565_is_idempotent_after_first_quantization(r: u8, g: u8, b: u8) {
+        let mut buf = [0u8; 2];
+        PixelFormat::Rgb565.encode(Rgba::from_bytes([r, g, b, 255]), &mut buf);
+        let once = PixelFormat::Rgb565.decode(&buf);
+        PixelFormat::Rgb565.encode(once, &mut buf);
+        let twice = PixelFormat::Rgb565.decode(&buf);
+        prop_assert_eq!(once.to_bytes(), twice.to_bytes());
+    }
+
+    #[test]
+    fn over_blend_output_stays_in_range(src in arb_color(), dst in arb_color()) {
+        let out = src.over(dst);
+        for v in [out.r, out.g, out.b, out.a] {
+            prop_assert!((0.0..=1.0).contains(&v), "component {v}");
+        }
+    }
+
+    #[test]
+    fn opaque_source_over_anything_is_source(src in arb_color(), dst in arb_color()) {
+        let src = Rgba::new(src.r, src.g, src.b, 1.0);
+        prop_assert_eq!(src.over(dst).to_bytes(), src.to_bytes());
+    }
+
+    #[test]
+    fn arbitrary_triangles_never_panic_and_fragments_are_bounded(
+        verts in prop::collection::vec(arb_vertex(), 3..30),
+    ) {
+        let img = Image::new(16, 16, PixelFormat::Rgba8888);
+        let n_tris = (verts.len() / 3) as u64;
+        let m = raster::draw_triangles(&img, None, &verts[..(n_tris as usize) * 3], &Pipeline::default());
+        // Each triangle can cover at most the whole target.
+        prop_assert!(m.fragments <= n_tris * img.pixel_count());
+        prop_assert_eq!(m.vertices, n_tris * 3);
+    }
+
+    #[test]
+    fn rotation_inverse_cancels(angle in -720.0f32..720.0, x in -5.0f32..5.0, y in -5.0f32..5.0) {
+        let m = Mat4::rotate_z(angle).mul(&Mat4::rotate_z(-angle));
+        let v = m.transform_point([x, y, 0.0]);
+        prop_assert!((v[0] - x).abs() < 1e-2, "{} vs {}", v[0], x);
+        prop_assert!((v[1] - y).abs() < 1e-2, "{} vs {}", v[1], y);
+    }
+
+    #[test]
+    fn translate_then_inverse_translate_is_identity(
+        x in -100.0f32..100.0,
+        y in -100.0f32..100.0,
+        z in -100.0f32..100.0,
+        p in -50.0f32..50.0,
+    ) {
+        let m = Mat4::translate(x, y, z).mul(&Mat4::translate(-x, -y, -z));
+        let v = m.transform_point([p, p, p]);
+        for component in v.iter().take(3) {
+            prop_assert!((component - p).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matrix_multiplication_is_associative(
+        a in -2.0f32..2.0, b in -2.0f32..2.0, c in -360.0f32..360.0,
+        px in -3.0f32..3.0, py in -3.0f32..3.0,
+    ) {
+        let (t, s, r) = (
+            Mat4::translate(a, b, 0.0),
+            Mat4::scale(1.0 + a.abs(), 1.0 + b.abs(), 1.0),
+            Mat4::rotate_z(c),
+        );
+        let left = t.mul(&s).mul(&r);
+        let right = t.mul(&s.mul(&r));
+        let v1 = left.transform_point([px, py, 0.0]);
+        let v2 = right.transform_point([px, py, 0.0]);
+        for i in 0..4 {
+            prop_assert!((v1[i] - v2[i]).abs() < 1e-2, "{:?} vs {:?}", v1, v2);
+        }
+    }
+
+    #[test]
+    fn blit_any_valid_rects_never_panics(
+        sw in 1u32..16, sh in 1u32..16,
+        dw in 1u32..16, dh in 1u32..16,
+    ) {
+        let src = Image::new(sw, sh, PixelFormat::Rgba8888);
+        src.fill(Rgba::GREEN);
+        let dst = Image::new(dw, dh, PixelFormat::Bgra8888);
+        let n = raster::blit(&src, Rect::of_image(&src), &dst, Rect::of_image(&dst));
+        prop_assert_eq!(n, u64::from(dw) * u64::from(dh));
+        prop_assert_eq!(dst.pixel_rgba(dw - 1, dh - 1).to_bytes(), [0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn image_row_padding_preserves_pixels(
+        w in 1u32..12, h in 1u32..12, pad in 0usize..16,
+        x_frac in 0.0f64..1.0, y_frac in 0.0f64..1.0,
+        color in arb_color(),
+    ) {
+        let row_bytes = w as usize * 4 + pad;
+        let img = Image::with_row_bytes(w, h, PixelFormat::Rgba8888, row_bytes);
+        let x = ((w - 1) as f64 * x_frac) as u32;
+        let y = ((h - 1) as f64 * y_frac) as u32;
+        img.set_pixel(x, y, color);
+        prop_assert_eq!(img.pixel_rgba(x, y).to_bytes(), color.to_bytes());
+    }
+
+    #[test]
+    fn pixel_hash_is_format_independent(w in 1u32..8, h in 1u32..8, color in arb_color()) {
+        let a = Image::new(w, h, PixelFormat::Rgba8888);
+        let b = Image::new(w, h, PixelFormat::Bgra8888);
+        a.fill(color);
+        b.fill(color);
+        prop_assert_eq!(a.pixel_hash(), b.pixel_hash());
+    }
+}

@@ -1,0 +1,256 @@
+//! The gralloc kernel driver and its user-space allocator API.
+//!
+//! Allocation goes through "non-standard, often opaque, Linux kernel driver
+//! interfaces" (§2): the user-space [`GraphicBufferAllocator`] issues
+//! deliberately obfuscated ioctls against [`GrallocDriver`], which owns the
+//! buffer table. Handles cross the kernel boundary as plain words, exactly
+//! like real gralloc handles.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cycada_gpu::PixelFormat;
+use cycada_kernel::{IoctlDriver, IpcMessage, IpcReply, Kernel, KernelError, SimTid};
+
+use crate::buffer::GraphicBuffer;
+use crate::error::GrallocError;
+use crate::Result;
+
+/// The device name the driver registers under.
+pub const GRALLOC_DRIVER_NAME: &str = "gralloc";
+
+/// Obfuscated ioctl selectors (the opacity is the point).
+const IOCTL_ALLOC: u32 = 0xC018_6700;
+const IOCTL_FREE: u32 = 0xC018_6701;
+
+fn format_to_word(format: PixelFormat) -> u64 {
+    match format {
+        PixelFormat::Rgba8888 => 1,
+        PixelFormat::Bgra8888 => 2,
+        PixelFormat::Rgb565 => 4,
+        PixelFormat::Alpha8 => 8,
+    }
+}
+
+fn word_to_format(word: u64) -> Option<PixelFormat> {
+    match word {
+        1 => Some(PixelFormat::Rgba8888),
+        2 => Some(PixelFormat::Bgra8888),
+        4 => Some(PixelFormat::Rgb565),
+        8 => Some(PixelFormat::Alpha8),
+        _ => None,
+    }
+}
+
+/// The kernel-side gralloc driver: owns the global buffer table.
+pub struct GrallocDriver {
+    buffers: Mutex<HashMap<u64, GraphicBuffer>>,
+    next_handle: AtomicU64,
+}
+
+impl GrallocDriver {
+    /// Creates the driver (register it with [`Kernel::register_driver`]).
+    pub fn new() -> Arc<Self> {
+        Arc::new(GrallocDriver {
+            buffers: Mutex::new(HashMap::new()),
+            next_handle: AtomicU64::new(1),
+        })
+    }
+
+    /// Looks up a buffer by handle (used by EGL/SurfaceFlinger to resolve
+    /// handles received over IPC).
+    pub fn lookup(&self, handle: u64) -> Result<GraphicBuffer> {
+        self.buffers
+            .lock()
+            .get(&handle)
+            .cloned()
+            .ok_or(GrallocError::UnknownHandle(handle))
+    }
+
+    /// Number of live buffers (leak detection in tests).
+    pub fn live_buffers(&self) -> usize {
+        self.buffers.lock().len()
+    }
+
+    fn alloc(&self, width: u32, height: u32, format: PixelFormat) -> Result<GraphicBuffer> {
+        let handle = self.next_handle.fetch_add(1, Ordering::Relaxed);
+        let buffer = GraphicBuffer::new(handle, width, height, format)?;
+        self.buffers.lock().insert(handle, buffer.clone());
+        Ok(buffer)
+    }
+
+    fn free(&self, handle: u64) -> Result<()> {
+        self.buffers
+            .lock()
+            .remove(&handle)
+            .map(|_| ())
+            .ok_or(GrallocError::UnknownHandle(handle))
+    }
+}
+
+impl IoctlDriver for GrallocDriver {
+    fn driver_name(&self) -> &str {
+        GRALLOC_DRIVER_NAME
+    }
+
+    fn ioctl(&self, cmd: u32, arg: IpcMessage) -> std::result::Result<IpcReply, KernelError> {
+        match cmd {
+            IOCTL_ALLOC => {
+                let width = arg.word(0)? as u32;
+                let height = arg.word(1)? as u32;
+                let format = word_to_format(arg.word(2)?)
+                    .ok_or_else(|| KernelError::BadMessage("bad gralloc format".into()))?;
+                let buffer = self
+                    .alloc(width, height, format)
+                    .map_err(|e| KernelError::ServiceFailure(e.to_string()))?;
+                Ok(IpcReply::with_words([buffer.handle()])
+                    .and_buffer(buffer.image().buffer().clone()))
+            }
+            IOCTL_FREE => {
+                let handle = arg.word(0)?;
+                self.free(handle)
+                    .map_err(|e| KernelError::ServiceFailure(e.to_string()))?;
+                Ok(IpcReply::empty())
+            }
+            other => Err(KernelError::BadMessage(format!(
+                "unknown gralloc ioctl {other:#x}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Debug for GrallocDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GrallocDriver")
+            .field("live_buffers", &self.live_buffers())
+            .finish()
+    }
+}
+
+/// The user-space GraphicBuffer allocation API (what `libui` exposes).
+/// Allocations round-trip through the kernel as opaque ioctls, then resolve
+/// the handle against the driver's table — the same zero-copy handle flow
+/// as the real stack.
+pub struct GraphicBufferAllocator {
+    kernel: Arc<Kernel>,
+    driver: Arc<GrallocDriver>,
+}
+
+impl GraphicBufferAllocator {
+    /// Creates an allocator bound to a kernel and its registered driver.
+    pub fn new(kernel: Arc<Kernel>, driver: Arc<GrallocDriver>) -> Self {
+        GraphicBufferAllocator { kernel, driver }
+    }
+
+    /// Allocates a buffer via ioctl, as calling thread `tid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrallocError::BadGeometry`]-style failures surfaced
+    /// through the kernel, or [`GrallocError::Kernel`] on channel errors.
+    pub fn allocate(
+        &self,
+        tid: SimTid,
+        width: u32,
+        height: u32,
+        format: PixelFormat,
+    ) -> Result<GraphicBuffer> {
+        let reply = self.kernel.ioctl(
+            tid,
+            GRALLOC_DRIVER_NAME,
+            IOCTL_ALLOC,
+            IpcMessage::new(0, [u64::from(width), u64::from(height), format_to_word(format)]),
+        )?;
+        let handle = reply.word(0)?;
+        self.driver.lookup(handle)
+    }
+
+    /// Frees a buffer via ioctl.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrallocError::Kernel`] if the handle is unknown.
+    pub fn free(&self, tid: SimTid, handle: u64) -> Result<()> {
+        self.kernel
+            .ioctl(
+                tid,
+                GRALLOC_DRIVER_NAME,
+                IOCTL_FREE,
+                IpcMessage::new(0, [handle]),
+            )
+            .map(|_| ())
+            .map_err(GrallocError::from)
+    }
+}
+
+impl fmt::Debug for GraphicBufferAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GraphicBufferAllocator").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycada_kernel::Persona;
+    use cycada_sim::Platform;
+
+    fn setup() -> (Arc<Kernel>, Arc<GrallocDriver>, SimTid) {
+        let kernel = Arc::new(Kernel::for_platform(Platform::CycadaAndroid));
+        let driver = GrallocDriver::new();
+        kernel.register_driver(driver.clone());
+        let tid = kernel.spawn_process_main(Persona::Android).unwrap();
+        (kernel, driver, tid)
+    }
+
+    #[test]
+    fn allocate_and_free_via_ioctl() {
+        let (kernel, driver, tid) = setup();
+        let alloc = GraphicBufferAllocator::new(kernel.clone(), driver.clone());
+        let buf = alloc.allocate(tid, 16, 8, PixelFormat::Rgba8888).unwrap();
+        assert_eq!((buf.width(), buf.height()), (16, 8));
+        assert_eq!(driver.live_buffers(), 1);
+        assert_eq!(kernel.syscall_counts().ioctl, 1);
+
+        // The driver-side table and user handle alias the same memory.
+        let same = driver.lookup(buf.handle()).unwrap();
+        assert!(same.same_buffer(&buf));
+
+        alloc.free(tid, buf.handle()).unwrap();
+        assert_eq!(driver.live_buffers(), 0);
+        assert!(matches!(
+            driver.lookup(buf.handle()),
+            Err(GrallocError::UnknownHandle(_))
+        ));
+    }
+
+    #[test]
+    fn bad_geometry_surfaces_through_kernel() {
+        let (kernel, driver, tid) = setup();
+        let alloc = GraphicBufferAllocator::new(kernel, driver);
+        assert!(matches!(
+            alloc.allocate(tid, 0, 8, PixelFormat::Rgba8888),
+            Err(GrallocError::Kernel(_))
+        ));
+    }
+
+    #[test]
+    fn free_unknown_handle_fails() {
+        let (kernel, driver, tid) = setup();
+        let alloc = GraphicBufferAllocator::new(kernel, driver);
+        assert!(alloc.free(tid, 999).is_err());
+    }
+
+    #[test]
+    fn unknown_ioctl_rejected() {
+        let (kernel, _driver, tid) = setup();
+        assert!(matches!(
+            kernel.ioctl(tid, GRALLOC_DRIVER_NAME, 0xdead, IpcMessage::default()),
+            Err(KernelError::BadMessage(_))
+        ));
+    }
+}

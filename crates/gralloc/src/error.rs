@@ -1,0 +1,74 @@
+//! Gralloc error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the simulated Android graphics memory subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GrallocError {
+    /// CPU lock refused: the buffer is associated with a GLES texture via
+    /// an EGLImage (the Android limitation of §6.2).
+    AssociatedWithTexture {
+        /// The buffer's handle.
+        handle: u64,
+        /// How many live GLES associations block the lock.
+        associations: u32,
+    },
+    /// The buffer is already locked for CPU access.
+    AlreadyLocked(u64),
+    /// Unlock without a prior lock.
+    NotLocked(u64),
+    /// The driver has no buffer with this handle.
+    UnknownHandle(u64),
+    /// An allocation request had zero width or height.
+    BadGeometry {
+        /// Requested width.
+        width: u32,
+        /// Requested height.
+        height: u32,
+    },
+    /// The kernel channel failed.
+    Kernel(String),
+}
+
+impl fmt::Display for GrallocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrallocError::AssociatedWithTexture { handle, associations } => write!(
+                f,
+                "buffer {handle} cannot be CPU-locked: {associations} live GLES association(s)"
+            ),
+            GrallocError::AlreadyLocked(h) => write!(f, "buffer {h} is already CPU-locked"),
+            GrallocError::NotLocked(h) => write!(f, "buffer {h} is not CPU-locked"),
+            GrallocError::UnknownHandle(h) => write!(f, "unknown GraphicBuffer handle {h}"),
+            GrallocError::BadGeometry { width, height } => {
+                write!(f, "invalid buffer geometry {width}x{height}")
+            }
+            GrallocError::Kernel(msg) => write!(f, "gralloc kernel failure: {msg}"),
+        }
+    }
+}
+
+impl Error for GrallocError {}
+
+impl From<cycada_kernel::KernelError> for GrallocError {
+    fn from(err: cycada_kernel::KernelError) -> Self {
+        GrallocError::Kernel(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GrallocError::AssociatedWithTexture {
+            handle: 3,
+            associations: 1,
+        };
+        assert!(e.to_string().contains("GLES association"));
+        assert!(GrallocError::UnknownHandle(9).to_string().contains('9'));
+    }
+}

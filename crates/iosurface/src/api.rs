@@ -1,0 +1,257 @@
+//! The user-space IOSurface library.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cycada_gpu::Image;
+use cycada_kernel::{IpcMessage, Kernel, SimTid};
+use cycada_sim::SharedBuffer;
+
+use crate::error::IoSurfaceError;
+use crate::service::{
+    props_from_msg, props_to_words, SurfaceProps, CORE_SURFACE_SERVICE, SEL_CREATE, SEL_LOCK,
+    SEL_LOOKUP, SEL_RELEASE, SEL_RETAIN, SEL_UNLOCK,
+};
+use crate::Result;
+
+/// A user-space IOSurface handle: "a memory abstraction that facilitates
+/// zero-copy transfers of large graphics buffers between apps and rendering
+/// APIs" (§2).
+#[derive(Clone)]
+pub struct IOSurface {
+    id: u64,
+    props: SurfaceProps,
+    buffer: SharedBuffer,
+}
+
+impl IOSurface {
+    /// The kernel surface ID (stable across processes).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Surface properties.
+    pub fn props(&self) -> SurfaceProps {
+        self.props
+    }
+
+    /// `IOSurfaceGetWidth`.
+    pub fn width(&self) -> u32 {
+        self.props.width
+    }
+
+    /// `IOSurfaceGetHeight`.
+    pub fn height(&self) -> u32 {
+        self.props.height
+    }
+
+    /// `IOSurfaceGetBytesPerRow`.
+    pub fn bytes_per_row(&self) -> usize {
+        self.props.bytes_per_row
+    }
+
+    /// `IOSurfaceGetBaseAddress`: the mapped backing memory.
+    pub fn base_address(&self) -> &SharedBuffer {
+        &self.buffer
+    }
+
+    /// A zero-copy image view of the pixels (what CoreGraphics draws into).
+    pub fn as_image(&self) -> Image {
+        Image::from_buffer(
+            self.props.width,
+            self.props.height,
+            self.props.format,
+            self.props.bytes_per_row,
+            self.buffer.clone(),
+        )
+    }
+}
+
+impl fmt::Debug for IOSurface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IOSurface")
+            .field("id", &self.id)
+            .field("props", &self.props)
+            .finish()
+    }
+}
+
+/// The user-space IOSurface API: every call is an opaque Mach IPC round
+/// trip to the `IOCoreSurface` kernel service.
+pub struct IOSurfaceApi {
+    kernel: Arc<Kernel>,
+}
+
+impl IOSurfaceApi {
+    /// Creates the library over a kernel whose `IOCoreSurface` service is
+    /// registered.
+    pub fn new(kernel: Arc<Kernel>) -> Self {
+        IOSurfaceApi { kernel }
+    }
+
+    fn call(&self, tid: SimTid, msg: IpcMessage) -> Result<cycada_kernel::IpcReply> {
+        self.kernel
+            .mach_ipc_call(tid, CORE_SURFACE_SERVICE, msg)
+            .map_err(IoSurfaceError::from)
+    }
+
+    /// `IOSurfaceCreate`. With `backing`, wraps existing memory (Cycada's
+    /// GraphicBuffer-backed path); otherwise the kernel allocates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::Kernel`] if the service rejects the
+    /// properties.
+    pub fn create(
+        &self,
+        tid: SimTid,
+        props: SurfaceProps,
+        backing: Option<SharedBuffer>,
+    ) -> Result<IOSurface> {
+        let mut msg = IpcMessage::new(SEL_CREATE, props_to_words(props));
+        if let Some(buf) = backing {
+            msg = msg.with_buffer(buf);
+        }
+        let reply = self.call(tid, msg)?;
+        let id = reply.word(0).map_err(IoSurfaceError::from)?;
+        let buffer = reply
+            .buffer
+            .ok_or_else(|| IoSurfaceError::Kernel("create reply missing buffer".into()))?;
+        Ok(IOSurface { id, props, buffer })
+    }
+
+    /// `IOSurfaceLookup`: maps an existing surface by ID (cross-process
+    /// zero-copy sharing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::Kernel`] for dead IDs.
+    pub fn lookup(&self, tid: SimTid, id: u64) -> Result<IOSurface> {
+        let reply = self.call(tid, IpcMessage::new(SEL_LOOKUP, [id]))?;
+        let words = IpcMessage::new(0, reply.words.clone());
+        let props = props_from_msg(&words, 1).map_err(IoSurfaceError::from)?;
+        let buffer = reply
+            .buffer
+            .ok_or_else(|| IoSurfaceError::Kernel("lookup reply missing buffer".into()))?;
+        Ok(IOSurface { id, props, buffer })
+    }
+
+    /// `IOSurfaceIncrementUseCount` / retain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::Kernel`] for dead IDs.
+    pub fn retain(&self, tid: SimTid, surface: &IOSurface) -> Result<u64> {
+        let reply = self.call(tid, IpcMessage::new(SEL_RETAIN, [surface.id]))?;
+        reply.word(0).map_err(IoSurfaceError::from)
+    }
+
+    /// Release; the surface dies when the count reaches zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::Kernel`] for dead IDs.
+    pub fn release(&self, tid: SimTid, surface: &IOSurface) -> Result<u64> {
+        let reply = self.call(tid, IpcMessage::new(SEL_RELEASE, [surface.id]))?;
+        reply.word(0).map_err(IoSurfaceError::from)
+    }
+
+    /// `IOSurfaceLock`: locks for CPU-only access, "during which time the
+    /// GPU may not access it" (§6.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::Kernel`] for dead IDs.
+    pub fn lock(&self, tid: SimTid, surface: &IOSurface) -> Result<u64> {
+        let reply = self.call(tid, IpcMessage::new(SEL_LOCK, [surface.id]))?;
+        reply.word(0).map_err(IoSurfaceError::from)
+    }
+
+    /// `IOSurfaceUnlock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::Kernel`] for unbalanced unlocks.
+    pub fn unlock(&self, tid: SimTid, surface: &IOSurface) -> Result<u64> {
+        let reply = self.call(tid, IpcMessage::new(SEL_UNLOCK, [surface.id]))?;
+        reply.word(0).map_err(IoSurfaceError::from)
+    }
+}
+
+impl fmt::Debug for IOSurfaceApi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IOSurfaceApi").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::CoreSurfaceService;
+    use cycada_kernel::Persona;
+    use cycada_sim::Platform;
+
+    fn setup() -> (Arc<Kernel>, Arc<CoreSurfaceService>, IOSurfaceApi, SimTid) {
+        let kernel = Arc::new(Kernel::for_platform(Platform::CycadaIos));
+        let svc = CoreSurfaceService::new();
+        kernel.register_service(svc.clone());
+        let api = IOSurfaceApi::new(kernel.clone());
+        let tid = kernel.spawn_process_main(Persona::Ios).unwrap();
+        (kernel, svc, api, tid)
+    }
+
+    #[test]
+    fn create_via_mach_ipc() {
+        let (kernel, svc, api, tid) = setup();
+        let surf = api.create(tid, SurfaceProps::bgra(8, 4), None).unwrap();
+        assert_eq!(surf.width(), 8);
+        assert_eq!(surf.height(), 4);
+        assert_eq!(surf.bytes_per_row(), 32);
+        assert_eq!(svc.live_surfaces(), 1);
+        assert_eq!(kernel.syscall_counts().mach_ipc, 1);
+    }
+
+    #[test]
+    fn lookup_shares_memory_zero_copy() {
+        let (_kernel, _svc, api, tid) = setup();
+        let a = api.create(tid, SurfaceProps::bgra(4, 4), None).unwrap();
+        let b = api.lookup(tid, a.id()).unwrap();
+        assert!(a.base_address().same_allocation(b.base_address()));
+        a.as_image().set_pixel(1, 1, cycada_gpu::Rgba::GREEN);
+        assert_eq!(
+            b.as_image().pixel_rgba(1, 1).to_bytes(),
+            [0, 255, 0, 255]
+        );
+    }
+
+    #[test]
+    fn lock_unlock_via_ipc() {
+        let (_kernel, svc, api, tid) = setup();
+        let surf = api.create(tid, SurfaceProps::bgra(2, 2), None).unwrap();
+        assert_eq!(api.lock(tid, &surf).unwrap(), 1);
+        assert_eq!(svc.lock_count(surf.id()).unwrap(), 1);
+        assert_eq!(api.unlock(tid, &surf).unwrap(), 0);
+        assert!(api.unlock(tid, &surf).is_err());
+    }
+
+    #[test]
+    fn retain_release_lifecycle() {
+        let (_kernel, svc, api, tid) = setup();
+        let surf = api.create(tid, SurfaceProps::bgra(2, 2), None).unwrap();
+        assert_eq!(api.retain(tid, &surf).unwrap(), 2);
+        assert_eq!(api.release(tid, &surf).unwrap(), 1);
+        assert_eq!(api.release(tid, &surf).unwrap(), 0);
+        assert_eq!(svc.live_surfaces(), 0);
+        assert!(api.lookup(tid, surf.id()).is_err());
+    }
+
+    #[test]
+    fn create_over_external_backing() {
+        let (_kernel, _svc, api, tid) = setup();
+        let backing = SharedBuffer::zeroed(64);
+        let surf = api
+            .create(tid, SurfaceProps::bgra(4, 4), Some(backing.clone()))
+            .unwrap();
+        assert!(surf.base_address().same_allocation(&backing));
+    }
+}

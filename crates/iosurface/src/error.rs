@@ -1,0 +1,48 @@
+//! IOSurface error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the simulated IOSurface stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IoSurfaceError {
+    /// No surface with this ID exists (or it was fully released).
+    UnknownSurface(u64),
+    /// An unlock without a matching lock.
+    NotLocked(u64),
+    /// A creation request had invalid properties.
+    BadProperties(String),
+    /// The Mach IPC channel or kernel service failed.
+    Kernel(String),
+}
+
+impl fmt::Display for IoSurfaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoSurfaceError::UnknownSurface(id) => write!(f, "unknown IOSurface {id}"),
+            IoSurfaceError::NotLocked(id) => write!(f, "IOSurface {id} is not locked"),
+            IoSurfaceError::BadProperties(msg) => write!(f, "bad IOSurface properties: {msg}"),
+            IoSurfaceError::Kernel(msg) => write!(f, "IOSurface kernel failure: {msg}"),
+        }
+    }
+}
+
+impl Error for IoSurfaceError {}
+
+impl From<cycada_kernel::KernelError> for IoSurfaceError {
+    fn from(e: cycada_kernel::KernelError) -> Self {
+        IoSurfaceError::Kernel(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(IoSurfaceError::UnknownSurface(5).to_string().contains('5'));
+        assert!(IoSurfaceError::NotLocked(2).to_string().contains("not locked"));
+    }
+}

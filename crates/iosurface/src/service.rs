@@ -1,0 +1,400 @@
+//! The kernel-side surface table: IOCoreSurface / LinuxCoreSurface.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cycada_gpu::{Image, PixelFormat};
+use cycada_kernel::{IpcMessage, IpcReply, KernelError, KernelService};
+use cycada_sim::SharedBuffer;
+
+use crate::error::IoSurfaceError;
+use crate::Result;
+
+/// The I/O Kit service name the IOSurface library connects to. Cycada's
+/// LinuxCoreSurface registers under the same name so unmodified iOS
+/// binaries find it.
+pub const CORE_SURFACE_SERVICE: &str = "IOCoreSurface";
+
+/// Mach IPC selectors (opaque by design).
+pub(crate) const SEL_CREATE: u32 = 0x1001;
+pub(crate) const SEL_LOOKUP: u32 = 0x1002;
+pub(crate) const SEL_RETAIN: u32 = 0x1003;
+pub(crate) const SEL_RELEASE: u32 = 0x1004;
+pub(crate) const SEL_LOCK: u32 = 0x1005;
+pub(crate) const SEL_UNLOCK: u32 = 0x1006;
+
+/// Surface geometry and layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurfaceProps {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Bytes per row (>= width * bytes per pixel).
+    pub bytes_per_row: usize,
+    /// Pixel format.
+    pub format: PixelFormat,
+}
+
+impl SurfaceProps {
+    /// Tightly packed BGRA surface (the iOS default layout).
+    pub fn bgra(width: u32, height: u32) -> Self {
+        SurfaceProps {
+            width,
+            height,
+            bytes_per_row: width as usize * 4,
+            format: PixelFormat::Bgra8888,
+        }
+    }
+
+    /// Total byte size of the backing allocation.
+    pub fn byte_len(&self) -> usize {
+        self.bytes_per_row * self.height as usize
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.width == 0 || self.height == 0 {
+            return Err(IoSurfaceError::BadProperties("zero dimension".into()));
+        }
+        if self.bytes_per_row < self.width as usize * self.format.bytes_per_pixel() {
+            return Err(IoSurfaceError::BadProperties(
+                "bytes_per_row smaller than a packed row".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct SurfaceRecord {
+    props: SurfaceProps,
+    buffer: SharedBuffer,
+    refcount: u64,
+    lock_count: u64,
+}
+
+/// The kernel surface table service.
+///
+/// Owns every live surface's properties, reference count, lock state and
+/// backing memory. Reached exclusively through opaque Mach IPC from the
+/// user-space [`crate::IOSurfaceApi`], but exposes direct accessors for
+/// other kernel-side components (IOMobileFramebuffer, the Cycada bridge).
+pub struct CoreSurfaceService {
+    surfaces: Mutex<HashMap<u64, SurfaceRecord>>,
+    next_id: AtomicU64,
+}
+
+impl CoreSurfaceService {
+    /// Creates the service (register with the kernel under
+    /// [`CORE_SURFACE_SERVICE`]).
+    pub fn new() -> Arc<Self> {
+        Arc::new(CoreSurfaceService {
+            surfaces: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Kernel-side create. `backing` lets Cycada hand in GraphicBuffer
+    /// memory as the surface's backing store (§6.1); `None` allocates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::BadProperties`] for invalid geometry or a
+    /// too-small backing buffer.
+    pub fn create(&self, props: SurfaceProps, backing: Option<SharedBuffer>) -> Result<u64> {
+        props.validate()?;
+        let buffer = match backing {
+            Some(buf) => {
+                if buf.len() < props.byte_len() {
+                    return Err(IoSurfaceError::BadProperties(
+                        "backing buffer too small".into(),
+                    ));
+                }
+                buf
+            }
+            None => SharedBuffer::zeroed(props.byte_len()),
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.surfaces.lock().insert(
+            id,
+            SurfaceRecord {
+                props,
+                buffer,
+                refcount: 1,
+                lock_count: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Kernel-side lookup of properties and backing memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::UnknownSurface`] for dead IDs.
+    pub fn lookup(&self, id: u64) -> Result<(SurfaceProps, SharedBuffer)> {
+        self.surfaces
+            .lock()
+            .get(&id)
+            .map(|r| (r.props, r.buffer.clone()))
+            .ok_or(IoSurfaceError::UnknownSurface(id))
+    }
+
+    /// A zero-copy [`Image`] view of a surface's pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::UnknownSurface`] for dead IDs.
+    pub fn image(&self, id: u64) -> Result<Image> {
+        let (props, buffer) = self.lookup(id)?;
+        Ok(Image::from_buffer(
+            props.width,
+            props.height,
+            props.format,
+            props.bytes_per_row,
+            buffer,
+        ))
+    }
+
+    /// Increments a surface's reference count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::UnknownSurface`] for dead IDs.
+    pub fn retain(&self, id: u64) -> Result<u64> {
+        let mut surfaces = self.surfaces.lock();
+        let record = surfaces
+            .get_mut(&id)
+            .ok_or(IoSurfaceError::UnknownSurface(id))?;
+        record.refcount += 1;
+        Ok(record.refcount)
+    }
+
+    /// Decrements a surface's reference count, freeing it at zero.
+    /// Returns the remaining count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::UnknownSurface`] for dead IDs.
+    pub fn release(&self, id: u64) -> Result<u64> {
+        let mut surfaces = self.surfaces.lock();
+        let record = surfaces
+            .get_mut(&id)
+            .ok_or(IoSurfaceError::UnknownSurface(id))?;
+        record.refcount -= 1;
+        let remaining = record.refcount;
+        if remaining == 0 {
+            surfaces.remove(&id);
+        }
+        Ok(remaining)
+    }
+
+    /// Locks a surface for CPU access (locks nest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::UnknownSurface`] for dead IDs.
+    pub fn lock(&self, id: u64) -> Result<u64> {
+        let mut surfaces = self.surfaces.lock();
+        let record = surfaces
+            .get_mut(&id)
+            .ok_or(IoSurfaceError::UnknownSurface(id))?;
+        record.lock_count += 1;
+        Ok(record.lock_count)
+    }
+
+    /// Unlocks a surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::NotLocked`] if it was not locked.
+    pub fn unlock(&self, id: u64) -> Result<u64> {
+        let mut surfaces = self.surfaces.lock();
+        let record = surfaces
+            .get_mut(&id)
+            .ok_or(IoSurfaceError::UnknownSurface(id))?;
+        if record.lock_count == 0 {
+            return Err(IoSurfaceError::NotLocked(id));
+        }
+        record.lock_count -= 1;
+        Ok(record.lock_count)
+    }
+
+    /// Current lock nesting depth of a surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoSurfaceError::UnknownSurface`] for dead IDs.
+    pub fn lock_count(&self, id: u64) -> Result<u64> {
+        self.surfaces
+            .lock()
+            .get(&id)
+            .map(|r| r.lock_count)
+            .ok_or(IoSurfaceError::UnknownSurface(id))
+    }
+
+    /// Number of live surfaces.
+    pub fn live_surfaces(&self) -> usize {
+        self.surfaces.lock().len()
+    }
+}
+
+fn format_to_word(format: PixelFormat) -> u64 {
+    match format {
+        PixelFormat::Rgba8888 => 1,
+        PixelFormat::Bgra8888 => 2,
+        PixelFormat::Rgb565 => 4,
+        PixelFormat::Alpha8 => 8,
+    }
+}
+
+pub(crate) fn word_to_format(word: u64) -> Option<PixelFormat> {
+    match word {
+        1 => Some(PixelFormat::Rgba8888),
+        2 => Some(PixelFormat::Bgra8888),
+        4 => Some(PixelFormat::Rgb565),
+        8 => Some(PixelFormat::Alpha8),
+        _ => None,
+    }
+}
+
+pub(crate) fn props_to_words(props: SurfaceProps) -> [u64; 4] {
+    [
+        u64::from(props.width),
+        u64::from(props.height),
+        props.bytes_per_row as u64,
+        format_to_word(props.format),
+    ]
+}
+
+pub(crate) fn props_from_msg(msg: &IpcMessage, base: usize) -> std::result::Result<SurfaceProps, KernelError> {
+    Ok(SurfaceProps {
+        width: msg.word(base)? as u32,
+        height: msg.word(base + 1)? as u32,
+        bytes_per_row: msg.word(base + 2)? as usize,
+        format: word_to_format(msg.word(base + 3)?)
+            .ok_or_else(|| KernelError::BadMessage("bad IOSurface format".into()))?,
+    })
+}
+
+impl KernelService for CoreSurfaceService {
+    fn service_name(&self) -> &str {
+        CORE_SURFACE_SERVICE
+    }
+
+    fn handle(&self, msg: IpcMessage) -> std::result::Result<IpcReply, KernelError> {
+        let fail = |e: IoSurfaceError| KernelError::ServiceFailure(e.to_string());
+        match msg.selector {
+            SEL_CREATE => {
+                let props = props_from_msg(&msg, 0)?;
+                let id = self.create(props, msg.buffer.clone()).map_err(fail)?;
+                let (_, buffer) = self.lookup(id).map_err(fail)?;
+                Ok(IpcReply::with_words([id]).and_buffer(buffer))
+            }
+            SEL_LOOKUP => {
+                let id = msg.word(0)?;
+                let (props, buffer) = self.lookup(id).map_err(fail)?;
+                let w = props_to_words(props);
+                Ok(IpcReply::with_words([id, w[0], w[1], w[2], w[3]]).and_buffer(buffer))
+            }
+            SEL_RETAIN => {
+                let count = self.retain(msg.word(0)?).map_err(fail)?;
+                Ok(IpcReply::with_words([count]))
+            }
+            SEL_RELEASE => {
+                let count = self.release(msg.word(0)?).map_err(fail)?;
+                Ok(IpcReply::with_words([count]))
+            }
+            SEL_LOCK => {
+                let count = self.lock(msg.word(0)?).map_err(fail)?;
+                Ok(IpcReply::with_words([count]))
+            }
+            SEL_UNLOCK => {
+                let count = self.unlock(msg.word(0)?).map_err(fail)?;
+                Ok(IpcReply::with_words([count]))
+            }
+            other => Err(KernelError::BadMessage(format!(
+                "unknown IOCoreSurface selector {other:#x}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Debug for CoreSurfaceService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoreSurfaceService")
+            .field("live_surfaces", &self.live_surfaces())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_image_roundtrip() {
+        let svc = CoreSurfaceService::new();
+        let id = svc.create(SurfaceProps::bgra(4, 2), None).unwrap();
+        let (props, buffer) = svc.lookup(id).unwrap();
+        assert_eq!(props.width, 4);
+        assert_eq!(buffer.len(), 32);
+        let img = svc.image(id).unwrap();
+        img.set_pixel(0, 0, cycada_gpu::Rgba::RED);
+        // The image view aliases the surface memory.
+        let (_, buffer2) = svc.lookup(id).unwrap();
+        assert!(buffer.same_allocation(&buffer2));
+    }
+
+    #[test]
+    fn refcounting_frees_at_zero() {
+        let svc = CoreSurfaceService::new();
+        let id = svc.create(SurfaceProps::bgra(1, 1), None).unwrap();
+        assert_eq!(svc.retain(id).unwrap(), 2);
+        assert_eq!(svc.release(id).unwrap(), 1);
+        assert_eq!(svc.release(id).unwrap(), 0);
+        assert!(matches!(
+            svc.lookup(id),
+            Err(IoSurfaceError::UnknownSurface(_))
+        ));
+        assert_eq!(svc.live_surfaces(), 0);
+    }
+
+    #[test]
+    fn lock_nesting() {
+        let svc = CoreSurfaceService::new();
+        let id = svc.create(SurfaceProps::bgra(1, 1), None).unwrap();
+        assert_eq!(svc.lock(id).unwrap(), 1);
+        assert_eq!(svc.lock(id).unwrap(), 2);
+        assert_eq!(svc.unlock(id).unwrap(), 1);
+        assert_eq!(svc.unlock(id).unwrap(), 0);
+        assert!(matches!(svc.unlock(id), Err(IoSurfaceError::NotLocked(_))));
+    }
+
+    #[test]
+    fn create_with_external_backing() {
+        let svc = CoreSurfaceService::new();
+        let backing = SharedBuffer::zeroed(64);
+        let id = svc
+            .create(SurfaceProps::bgra(4, 4), Some(backing.clone()))
+            .unwrap();
+        let (_, buffer) = svc.lookup(id).unwrap();
+        assert!(buffer.same_allocation(&backing));
+    }
+
+    #[test]
+    fn invalid_properties_rejected() {
+        let svc = CoreSurfaceService::new();
+        assert!(svc.create(SurfaceProps::bgra(0, 4), None).is_err());
+        let mut p = SurfaceProps::bgra(4, 4);
+        p.bytes_per_row = 4; // too small
+        assert!(svc.create(p, None).is_err());
+        assert!(svc
+            .create(SurfaceProps::bgra(4, 4), Some(SharedBuffer::zeroed(8)))
+            .is_err());
+    }
+}

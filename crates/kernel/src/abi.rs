@@ -1,0 +1,89 @@
+//! Kernel ABI personality details: errno translation.
+//!
+//! A diplomat's step 9 converts domestic TLS values "such as errno" into the
+//! foreign TLS area (§3). Linux and XNU/BSD disagree on several errno
+//! numbers, so the conversion is a real table, not an identity map.
+
+/// A Linux errno value (the domestic, Android-side encoding).
+pub type LinuxErrno = u64;
+
+/// A BSD/XNU errno value (the foreign, iOS-side encoding).
+pub type BsdErrno = u64;
+
+/// Translates a Linux errno value into the XNU/BSD value an iOS binary
+/// expects to observe.
+///
+/// The low errno numbers (1–34) are identical between Linux and BSD; the
+/// divergence starts at 35 (`EAGAIN`/`EDEADLK` renumbering). This table
+/// covers the values the simulated graphics stack can produce and is
+/// identity for the shared range.
+///
+/// # Examples
+///
+/// ```
+/// use cycada_kernel::bsd_errno_from_linux;
+///
+/// assert_eq!(bsd_errno_from_linux(0), 0);   // success
+/// assert_eq!(bsd_errno_from_linux(22), 22); // EINVAL is shared
+/// assert_eq!(bsd_errno_from_linux(11), 35); // Linux EAGAIN -> BSD EAGAIN
+/// ```
+pub fn bsd_errno_from_linux(errno: LinuxErrno) -> BsdErrno {
+    match errno {
+        // Linux EAGAIN(11) maps to BSD EAGAIN(35); BSD 11 is EDEADLK.
+        11 => 35,
+        // Linux EDEADLK(35) maps to BSD EDEADLK(11).
+        35 => 11,
+        // Linux ENOMSG(42) -> BSD ENOMSG(91).
+        42 => 91,
+        // Linux ELOOP(40) -> BSD ELOOP(62).
+        40 => 62,
+        // Linux ENAMETOOLONG(36) -> BSD ENAMETOOLONG(63).
+        36 => 63,
+        // Linux ENOTEMPTY(39) -> BSD ENOTEMPTY(66).
+        39 => 66,
+        // Linux ENOSYS(38) -> BSD ENOSYS(78).
+        38 => 78,
+        // Linux ETIME(62) -> Darwin ETIME(101); must not collide with the
+        // ELOOP mapping above.
+        62 => 101,
+        // Linux ENOSR(63) -> Darwin ENOSR(98); must not collide with the
+        // ENAMETOOLONG mapping above.
+        63 => 98,
+        // 0 and the shared 1..=34 range are identical.
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_is_identity() {
+        assert_eq!(bsd_errno_from_linux(0), 0);
+    }
+
+    #[test]
+    fn shared_range_is_identity() {
+        for errno in 1..=10 {
+            assert_eq!(bsd_errno_from_linux(errno), errno);
+        }
+        for errno in 12..=34 {
+            if errno == 22 {
+                assert_eq!(bsd_errno_from_linux(22), 22);
+            }
+        }
+    }
+
+    #[test]
+    fn eagain_renumbering() {
+        assert_eq!(bsd_errno_from_linux(11), 35);
+        assert_eq!(bsd_errno_from_linux(35), 11);
+    }
+
+    #[test]
+    fn high_numbers_translate() {
+        assert_eq!(bsd_errno_from_linux(38), 78);
+        assert_eq!(bsd_errno_from_linux(40), 62);
+    }
+}

@@ -1,0 +1,134 @@
+//! The simulated display panel.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cycada_sim::SharedBuffer;
+
+/// The device's physical display: a scanout framebuffer plus a frame
+/// counter.
+///
+/// On Android, SurfaceFlinger composites into this buffer via the HW
+/// Composer; on iOS, the IOMobileFramebuffer driver flips surfaces onto it.
+/// Tests read the scanout pixels back to verify end-to-end rendering.
+#[derive(Clone)]
+pub struct Display {
+    width: u32,
+    height: u32,
+    scanout: SharedBuffer,
+    frames: Arc<AtomicU64>,
+}
+
+impl Display {
+    /// Bytes per scanout pixel (RGBA8888 panel).
+    pub const BYTES_PER_PIXEL: usize = 4;
+
+    /// Creates a display of the given dimensions with a zeroed scanout.
+    pub fn new(width: u32, height: u32) -> Self {
+        Display {
+            width,
+            height,
+            scanout: SharedBuffer::zeroed(width as usize * height as usize * Self::BYTES_PER_PIXEL),
+            frames: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Display width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Display height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The scanout buffer (RGBA8888, row-major, tightly packed).
+    pub fn scanout(&self) -> &SharedBuffer {
+        &self.scanout
+    }
+
+    /// Marks a new frame as presented and returns the new frame count.
+    pub fn frame_presented(&self) -> u64 {
+        self.frames.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Number of frames presented so far.
+    pub fn frames_presented(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Reads one pixel as `[r, g, b, a]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn pixel(&self, x: u32, y: u32) -> [u8; 4] {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        let offset = (y as usize * self.width as usize + x as usize) * Self::BYTES_PER_PIXEL;
+        self.scanout
+            .read(|bytes| [bytes[offset], bytes[offset + 1], bytes[offset + 2], bytes[offset + 3]])
+    }
+}
+
+impl fmt::Debug for Display {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Display")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .field("frames", &self.frames_presented())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_geometry() {
+        let d = Display::new(4, 2);
+        assert_eq!(d.width(), 4);
+        assert_eq!(d.height(), 2);
+        assert_eq!(d.scanout().len(), 4 * 2 * 4);
+    }
+
+    #[test]
+    fn frame_counter() {
+        let d = Display::new(1, 1);
+        assert_eq!(d.frames_presented(), 0);
+        assert_eq!(d.frame_presented(), 1);
+        assert_eq!(d.frame_presented(), 2);
+        assert_eq!(d.frames_presented(), 2);
+    }
+
+    #[test]
+    fn pixel_readback() {
+        let d = Display::new(2, 2);
+        d.scanout().write(|b| {
+            // pixel (1, 0)
+            b[4] = 10;
+            b[5] = 20;
+            b[6] = 30;
+            b[7] = 40;
+        });
+        assert_eq!(d.pixel(1, 0), [10, 20, 30, 40]);
+        assert_eq!(d.pixel(0, 0), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pixel_out_of_range_panics() {
+        Display::new(2, 2).pixel(2, 0);
+    }
+
+    #[test]
+    fn clones_share_scanout_and_counter() {
+        let d = Display::new(1, 1);
+        let e = d.clone();
+        d.frame_presented();
+        assert_eq!(e.frames_presented(), 1);
+        assert!(d.scanout().same_allocation(e.scanout()));
+    }
+}

@@ -1,0 +1,77 @@
+//! Kernel error types.
+
+use std::error::Error;
+use std::fmt;
+
+use cycada_sim::Persona;
+
+use crate::thread::SimTid;
+
+/// Errors returned by the simulated kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// The referenced thread does not exist (or has exited).
+    NoSuchThread(SimTid),
+    /// The platform's kernel has no ABI personality for this persona (e.g.
+    /// an iOS persona on stock Android).
+    UnsupportedPersona(Persona),
+    /// A Mach IPC message was sent to a service name nobody registered.
+    NoSuchService(String),
+    /// An ioctl was issued against a driver name nobody registered.
+    NoSuchDriver(String),
+    /// A TLS access used a key that was never created or was deleted.
+    InvalidTlsKey {
+        /// The persona whose key space was used.
+        persona: Persona,
+        /// The raw slot index.
+        slot: usize,
+    },
+    /// A kernel service rejected a message it could not interpret.
+    BadMessage(String),
+    /// A kernel service failed while processing a valid request.
+    ServiceFailure(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchThread(tid) => write!(f, "no such thread: {tid}"),
+            KernelError::UnsupportedPersona(p) => {
+                write!(f, "kernel has no ABI personality for the {p} persona")
+            }
+            KernelError::NoSuchService(name) => {
+                write!(f, "no Mach IPC service registered under {name:?}")
+            }
+            KernelError::NoSuchDriver(name) => {
+                write!(f, "no ioctl driver registered under {name:?}")
+            }
+            KernelError::InvalidTlsKey { persona, slot } => {
+                write!(f, "invalid {persona} TLS key (slot {slot})")
+            }
+            KernelError::BadMessage(msg) => write!(f, "malformed kernel message: {msg}"),
+            KernelError::ServiceFailure(msg) => write!(f, "kernel service failure: {msg}"),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = KernelError::NoSuchService("IOCoreSurface".into());
+        let s = e.to_string();
+        assert!(s.contains("IOCoreSurface"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &(dyn Error + Send + Sync)) {}
+        takes_err(&KernelError::UnsupportedPersona(Persona::Ios));
+    }
+}

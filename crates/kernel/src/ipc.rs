@@ -1,0 +1,175 @@
+//! Opaque kernel communication channels: Mach IPC and ioctls.
+//!
+//! Both iOS and Android graphics libraries "discard all abstractions and
+//! communicate directly with kernel drivers through opaque, undocumented
+//! Mach IPC calls and ioctls" (§3). We model both channels as selector +
+//! word-vector messages against named kernel endpoints; the services
+//! themselves (LinuxCoreSurface, gralloc, IOMobileFramebuffer) live in their
+//! own crates and are registered into the [`crate::Kernel`].
+
+use std::fmt;
+
+use cycada_sim::SharedBuffer;
+
+use crate::error::KernelError;
+
+/// An opaque message sent over simulated Mach IPC or as an ioctl argument
+/// block. Selectors and word meanings are private between the user-space
+/// library and its kernel service — exactly the opacity the paper describes.
+#[derive(Debug, Clone, Default)]
+pub struct IpcMessage {
+    /// The (obfuscated) operation selector.
+    pub selector: u32,
+    /// Raw argument words.
+    pub words: Vec<u64>,
+    /// Optional out-of-line memory attached to the message (models Mach
+    /// OOL descriptors / ioctl pointer arguments).
+    pub buffer: Option<SharedBuffer>,
+}
+
+impl IpcMessage {
+    /// Creates a message with a selector and argument words.
+    pub fn new(selector: u32, words: impl Into<Vec<u64>>) -> Self {
+        IpcMessage {
+            selector,
+            words: words.into(),
+            buffer: None,
+        }
+    }
+
+    /// Attaches an out-of-line buffer.
+    pub fn with_buffer(mut self, buffer: SharedBuffer) -> Self {
+        self.buffer = Some(buffer);
+        self
+    }
+
+    /// Reads argument word `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::BadMessage`] if the word is missing — the
+    /// simulated services validate their inputs like real drivers must.
+    pub fn word(&self, idx: usize) -> Result<u64, KernelError> {
+        self.words.get(idx).copied().ok_or_else(|| {
+            KernelError::BadMessage(format!(
+                "selector {:#x}: missing argument word {idx}",
+                self.selector
+            ))
+        })
+    }
+}
+
+/// A reply from a kernel service.
+#[derive(Debug, Clone, Default)]
+pub struct IpcReply {
+    /// Raw result words.
+    pub words: Vec<u64>,
+    /// Optional out-of-line memory handed back to user space.
+    pub buffer: Option<SharedBuffer>,
+}
+
+impl IpcReply {
+    /// An empty (success, no data) reply.
+    pub fn empty() -> Self {
+        IpcReply::default()
+    }
+
+    /// A reply carrying result words.
+    pub fn with_words(words: impl Into<Vec<u64>>) -> Self {
+        IpcReply {
+            words: words.into(),
+            buffer: None,
+        }
+    }
+
+    /// Attaches an out-of-line buffer to the reply.
+    pub fn and_buffer(mut self, buffer: SharedBuffer) -> Self {
+        self.buffer = Some(buffer);
+        self
+    }
+
+    /// Reads result word `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::BadMessage`] if the word is missing.
+    pub fn word(&self, idx: usize) -> Result<u64, KernelError> {
+        self.words.get(idx).copied().ok_or_else(|| {
+            KernelError::BadMessage(format!("reply missing result word {idx}"))
+        })
+    }
+}
+
+/// An I/O Kit-style kernel service reachable via simulated Mach IPC (the
+/// iOS-side channel). Implemented by e.g. `LinuxCoreSurface` and the
+/// `IOMobileFramebuffer` wrapper.
+pub trait KernelService: Send + Sync {
+    /// The registered service name (e.g. `"IOCoreSurface"`).
+    fn service_name(&self) -> &str;
+
+    /// Handles one message, returning a reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] if the message is malformed or the
+    /// operation fails.
+    fn handle(&self, msg: IpcMessage) -> Result<IpcReply, KernelError>;
+}
+
+impl fmt::Debug for dyn KernelService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KernelService({})", self.service_name())
+    }
+}
+
+/// A proprietary driver reachable via simulated opaque ioctls (the
+/// Android-side channel). Implemented by e.g. the gralloc driver and the
+/// Linux GPU driver.
+pub trait IoctlDriver: Send + Sync {
+    /// The registered device name (e.g. `"gralloc"`).
+    fn driver_name(&self) -> &str;
+
+    /// Handles one ioctl.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] if the command or arguments are invalid.
+    fn ioctl(&self, cmd: u32, arg: IpcMessage) -> Result<IpcReply, KernelError>;
+}
+
+impl fmt::Debug for dyn IoctlDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IoctlDriver({})", self.driver_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_word_access() {
+        let msg = IpcMessage::new(0x10, [1, 2, 3]);
+        assert_eq!(msg.word(0).unwrap(), 1);
+        assert_eq!(msg.word(2).unwrap(), 3);
+        assert!(matches!(msg.word(3), Err(KernelError::BadMessage(_))));
+    }
+
+    #[test]
+    fn message_buffer_attachment() {
+        let buf = SharedBuffer::zeroed(8);
+        let msg = IpcMessage::new(1, []).with_buffer(buf.clone());
+        assert!(msg.buffer.unwrap().same_allocation(&buf));
+    }
+
+    #[test]
+    fn reply_helpers() {
+        let r = IpcReply::with_words([7]);
+        assert_eq!(r.word(0).unwrap(), 7);
+        assert!(r.word(1).is_err());
+        assert!(IpcReply::empty().words.is_empty());
+        let buf = SharedBuffer::zeroed(4);
+        let r2 = IpcReply::empty().and_buffer(buf.clone());
+        assert!(r2.buffer.unwrap().same_allocation(&buf));
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulated threads with per-persona execution state.
+
+use std::fmt;
+
+use cycada_sim::Persona;
+
+use crate::tls::TlsArea;
+
+/// Identifier of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SimTid(pub(crate) u64);
+
+impl SimTid {
+    /// Raw numeric value (for embedding in messages/logs).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SimTid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid#{}", self.0)
+    }
+}
+
+/// A thread group (a process, in Linux terms). The first thread of a group
+/// is the group **leader** — the "main" thread whose contexts Android GLES
+/// permits other threads to use (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadGroup {
+    /// The tid of the group leader.
+    pub leader: SimTid,
+}
+
+/// The kernel-side state of one simulated thread.
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    pub tid: SimTid,
+    pub group: ThreadGroup,
+    /// Which persona the thread currently executes in.
+    pub current: Persona,
+    /// Per-persona TLS areas, indexed by [`Persona::index`].
+    pub tls: [TlsArea; 2],
+    /// Whether the thread ever executed in each persona (diplomats create
+    /// the domestic persona lazily on first switch).
+    pub visited: [bool; 2],
+}
+
+impl ThreadState {
+    pub fn new(tid: SimTid, group: ThreadGroup, initial: Persona) -> Self {
+        let mut visited = [false; 2];
+        visited[initial.index()] = true;
+        ThreadState {
+            tid,
+            group,
+            current: initial,
+            tls: [TlsArea::new(), TlsArea::new()],
+            visited,
+        }
+    }
+
+    pub fn tls(&self, persona: Persona) -> &TlsArea {
+        &self.tls[persona.index()]
+    }
+
+    pub fn tls_mut(&mut self, persona: Persona) -> &mut TlsArea {
+        &mut self.tls[persona.index()]
+    }
+
+    pub fn is_group_leader(&self) -> bool {
+        self.group.leader == self.tid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_state_tracks_personas() {
+        let tid = SimTid(1);
+        let group = ThreadGroup { leader: tid };
+        let mut st = ThreadState::new(tid, group, Persona::Ios);
+        assert_eq!(st.current, Persona::Ios);
+        assert!(st.visited[Persona::Ios.index()]);
+        assert!(!st.visited[Persona::Android.index()]);
+        assert!(st.is_group_leader());
+
+        st.tls_mut(Persona::Android).set(8, 77);
+        assert_eq!(st.tls(Persona::Android).get(8), Some(77));
+        assert_eq!(st.tls(Persona::Ios).get(8), None, "TLS areas are separate");
+    }
+
+    #[test]
+    fn non_leader_detection() {
+        let leader = SimTid(1);
+        let worker = ThreadState::new(SimTid(2), ThreadGroup { leader }, Persona::Android);
+        assert!(!worker.is_group_leader());
+    }
+
+    #[test]
+    fn tid_display_and_raw() {
+        let tid = SimTid(9);
+        assert_eq!(tid.to_string(), "tid#9");
+        assert_eq!(tid.as_u64(), 9);
+    }
+}

@@ -1,0 +1,218 @@
+//! Thread-local storage areas and keys.
+//!
+//! The paper models TLS as "an array of void pointers unique to each persona
+//! of [a] thread. Each array entry is a slot. Some TLS slots are reserved for
+//! system use for things such as a thread-local errno value, but apps can
+//! reserve other slots using the `pthread_key_create` function, which returns
+//! a globally-unique TLS slot ID" (§7.1). Cycada's thread impersonation
+//! depends on *selective migration* of these slots, discovered through hooks
+//! on key creation/deletion (a 12-line libc patch in the prototype).
+
+use std::fmt;
+
+use cycada_sim::Persona;
+
+/// A TLS slot value — a `void*` in the real system.
+pub type TlsValue = u64;
+
+/// The reserved slot holding the thread-local `errno` value.
+pub const ERRNO_SLOT: usize = 0;
+
+/// Number of slots reserved for system use (errno, locale, stack guard...).
+pub(crate) const RESERVED_SLOTS: usize = 4;
+
+/// A globally-unique TLS slot ID within one persona's key space, as returned
+/// by the simulated `pthread_key_create`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TlsKey {
+    persona: Persona,
+    slot: usize,
+}
+
+impl TlsKey {
+    pub(crate) fn new(persona: Persona, slot: usize) -> Self {
+        TlsKey { persona, slot }
+    }
+
+    /// The persona whose key space this key belongs to.
+    pub fn persona(&self) -> Persona {
+        self.persona
+    }
+
+    /// The raw slot index inside the TLS array.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl fmt::Display for TlsKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-tls[{}]", self.persona, self.slot)
+    }
+}
+
+/// Notification emitted by the simulated libc whenever a TLS key is created
+/// or deleted — the hook Cycada's 12-line Bionic patch adds so it can
+/// monitor graphics-related slot allocation (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlsKeyEvent {
+    /// `pthread_key_create` reserved a new slot.
+    Created(TlsKey),
+    /// `pthread_key_delete` released a slot.
+    Deleted(TlsKey),
+}
+
+impl TlsKeyEvent {
+    /// The key the event refers to.
+    pub fn key(&self) -> TlsKey {
+        match self {
+            TlsKeyEvent::Created(k) | TlsKeyEvent::Deleted(k) => *k,
+        }
+    }
+}
+
+/// One persona's TLS area: a growable array of optional slot values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TlsArea {
+    slots: Vec<Option<TlsValue>>,
+}
+
+impl TlsArea {
+    /// Creates an area with the reserved system slots present (and unset).
+    pub fn new() -> Self {
+        TlsArea {
+            slots: vec![None; RESERVED_SLOTS],
+        }
+    }
+
+    /// Reads a slot; `None` if the slot was never written (or out of range).
+    pub fn get(&self, slot: usize) -> Option<TlsValue> {
+        self.slots.get(slot).copied().flatten()
+    }
+
+    /// Writes a slot, growing the area if necessary.
+    pub fn set(&mut self, slot: usize, value: TlsValue) {
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, None);
+        }
+        self.slots[slot] = Some(value);
+    }
+
+    /// Clears a slot (models storing a null pointer).
+    pub fn clear(&mut self, slot: usize) {
+        if let Some(entry) = self.slots.get_mut(slot) {
+            *entry = None;
+        }
+    }
+
+    /// The thread-local errno value (0 when unset).
+    pub fn errno(&self) -> u64 {
+        self.get(ERRNO_SLOT).unwrap_or(0)
+    }
+
+    /// Sets the thread-local errno value.
+    pub fn set_errno(&mut self, errno: u64) {
+        self.set(ERRNO_SLOT, errno);
+    }
+
+    /// Number of allocated slots (reserved + app-created).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if no slots exist (never the case for [`TlsArea::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Snapshots the values of the given slots, in order. Missing slots
+    /// snapshot as `None` so they can be faithfully restored.
+    pub fn snapshot(&self, slots: &[usize]) -> Vec<Option<TlsValue>> {
+        slots.iter().map(|&s| self.get(s)).collect()
+    }
+
+    /// Restores a snapshot previously taken with [`TlsArea::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` and `values` have different lengths, which would
+    /// indicate a corrupted migration and must not be papered over.
+    pub fn restore(&mut self, slots: &[usize], values: &[Option<TlsValue>]) {
+        assert_eq!(
+            slots.len(),
+            values.len(),
+            "TLS snapshot shape mismatch during restore"
+        );
+        for (&slot, &value) in slots.iter().zip(values) {
+            match value {
+                Some(v) => self.set(slot, v),
+                None => self.clear(slot),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_area_has_reserved_slots() {
+        let area = TlsArea::new();
+        assert_eq!(area.len(), RESERVED_SLOTS);
+        assert!(!area.is_empty());
+        assert_eq!(area.errno(), 0);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut area = TlsArea::new();
+        assert_eq!(area.get(10), None);
+        area.set(10, 42);
+        assert_eq!(area.get(10), Some(42));
+        assert!(area.len() >= 11, "area grows on demand");
+        area.clear(10);
+        assert_eq!(area.get(10), None);
+    }
+
+    #[test]
+    fn errno_round_trip() {
+        let mut area = TlsArea::new();
+        area.set_errno(22);
+        assert_eq!(area.errno(), 22);
+        assert_eq!(area.get(ERRNO_SLOT), Some(22));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut area = TlsArea::new();
+        area.set(5, 1);
+        area.set(7, 2);
+        let snap = area.snapshot(&[5, 6, 7]);
+        assert_eq!(snap, vec![Some(1), None, Some(2)]);
+
+        area.set(5, 99);
+        area.set(6, 98);
+        area.clear(7);
+        area.restore(&[5, 6, 7], &snap);
+        assert_eq!(area.get(5), Some(1));
+        assert_eq!(area.get(6), None);
+        assert_eq!(area.get(7), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restore_shape_mismatch_panics() {
+        TlsArea::new().restore(&[1, 2], &[Some(1)]);
+    }
+
+    #[test]
+    fn key_event_accessors() {
+        let k = TlsKey::new(Persona::Android, 9);
+        assert_eq!(k.persona(), Persona::Android);
+        assert_eq!(k.slot(), 9);
+        assert_eq!(TlsKeyEvent::Created(k).key(), k);
+        assert_eq!(TlsKeyEvent::Deleted(k).key(), k);
+        assert_eq!(k.to_string(), "Android-tls[9]");
+    }
+}

@@ -1,0 +1,196 @@
+//! Shared zero-copy byte buffers modelling graphics memory.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Globally unique identity of a [`SharedBuffer`] allocation.
+///
+/// IDs are process-wide and never reused, which lets the kernel-side surface
+/// registries (LinuxCoreSurface, gralloc) hand out stable handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(u64);
+
+impl BufferId {
+    /// The raw numeric value, useful for embedding in simulated IPC messages.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an ID from a raw value previously obtained with
+    /// [`BufferId::as_u64`] (e.g. after a round trip through simulated IPC).
+    pub fn from_u64(raw: u64) -> Self {
+        BufferId(raw)
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf#{}", self.0)
+    }
+}
+
+/// A reference-counted byte buffer shared between simulated libraries,
+/// drivers and the GPU.
+///
+/// This models the *zero-copy* property the paper leans on: an iOS
+/// `IOSurface` and the Android `GraphicBuffer` backing it are views of the
+/// same memory, so pixels written through one API are visible through the
+/// other without a copy. Cloning a `SharedBuffer` clones the handle, never
+/// the bytes.
+///
+/// # Examples
+///
+/// ```
+/// use cycada_sim::SharedBuffer;
+///
+/// let surface = SharedBuffer::zeroed(16);
+/// let graphic_buffer = surface.clone(); // zero-copy alias
+/// graphic_buffer.write(|bytes| bytes[0] = 0xff);
+/// assert_eq!(surface.read(|bytes| bytes[0]), 0xff);
+/// ```
+#[derive(Clone)]
+pub struct SharedBuffer {
+    id: BufferId,
+    data: Arc<RwLock<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// Allocates a buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        Self::from_vec(vec![0; len])
+    }
+
+    /// Wraps an existing byte vector.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        SharedBuffer {
+            id: BufferId(NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed)),
+            data: Arc::new(RwLock::new(data)),
+        }
+    }
+
+    /// The unique identity of this allocation. Aliases (clones) share an ID.
+    pub fn id(&self) -> BufferId {
+        self.id
+    }
+
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.data.read().len()
+    }
+
+    /// Returns `true` if the buffer has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` with shared read access to the bytes.
+    pub fn read<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.data.read())
+    }
+
+    /// Runs `f` with exclusive write access to the bytes.
+    pub fn write<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        f(&mut self.data.write())
+    }
+
+    /// Copies the whole buffer out. Intended for test assertions, not for
+    /// the simulated fast path (which would defeat the zero-copy model).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.read().clone()
+    }
+
+    /// Overwrites every byte with `value`.
+    pub fn fill(&self, value: u8) {
+        self.data.write().fill(value);
+    }
+
+    /// Returns `true` if `other` aliases the same allocation.
+    pub fn same_allocation(&self, other: &SharedBuffer) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Number of live handles to this allocation (including `self`).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+}
+
+impl fmt::Debug for SharedBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedBuffer")
+            .field("id", &self.id)
+            .field("len", &self.len())
+            .field("handles", &self.handle_count())
+            .finish()
+    }
+}
+
+impl PartialEq for SharedBuffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_allocation(other)
+    }
+}
+
+impl Eq for SharedBuffer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = SharedBuffer::zeroed(1);
+        let b = SharedBuffer::zeroed(1);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn id_round_trips_through_raw() {
+        let a = SharedBuffer::zeroed(1);
+        assert_eq!(BufferId::from_u64(a.id().as_u64()), a.id());
+    }
+
+    #[test]
+    fn clones_alias_storage() {
+        let a = SharedBuffer::zeroed(4);
+        let b = a.clone();
+        assert_eq!(a.id(), b.id());
+        assert!(a.same_allocation(&b));
+        assert_eq!(a, b);
+        b.write(|bytes| bytes[2] = 9);
+        assert_eq!(a.to_vec(), vec![0, 0, 9, 0]);
+    }
+
+    #[test]
+    fn distinct_buffers_do_not_alias() {
+        let a = SharedBuffer::zeroed(4);
+        let b = SharedBuffer::zeroed(4);
+        assert!(!a.same_allocation(&b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fill_and_len() {
+        let a = SharedBuffer::zeroed(3);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        a.fill(7);
+        assert_eq!(a.to_vec(), vec![7, 7, 7]);
+        assert!(SharedBuffer::zeroed(0).is_empty());
+    }
+
+    #[test]
+    fn handle_count_tracks_clones() {
+        let a = SharedBuffer::zeroed(1);
+        assert_eq!(a.handle_count(), 1);
+        let b = a.clone();
+        assert_eq!(a.handle_count(), 2);
+        drop(b);
+        assert_eq!(a.handle_count(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! The virtual nanosecond clock all simulated costs are charged to.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::Nanos;
+
+/// A monotonically increasing virtual clock measured in nanoseconds.
+///
+/// The clock is shared (cheaply clonable) between the simulated kernel, GPU,
+/// linker and libraries. Components call [`VirtualClock::charge_ns`] to model
+/// the cost of an operation; benchmark harnesses read elapsed virtual time
+/// with [`VirtualClock::now_ns`] or a [`ClockGuard`].
+///
+/// The clock is thread-safe: concurrent charges are totalled atomically, so
+/// aggregate times remain deterministic even when simulated threads run on
+/// real host threads.
+///
+/// # Examples
+///
+/// ```
+/// use cycada_sim::VirtualClock;
+///
+/// let clock = VirtualClock::new();
+/// let span = clock.span();
+/// clock.charge_ns(100);
+/// clock.charge_ns(25);
+/// assert_eq!(span.elapsed_ns(), 125);
+/// ```
+#[derive(Clone, Default)]
+pub struct VirtualClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a new clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> Nanos {
+        self.ns.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `ns` nanoseconds, returning the new time.
+    pub fn charge_ns(&self, ns: Nanos) -> Nanos {
+        self.ns.fetch_add(ns, Ordering::Relaxed) + ns
+    }
+
+    /// Advances the clock by a floating-point nanosecond cost, rounding to
+    /// the nearest nanosecond. Costs scaled by a [`crate::DeviceProfile`]
+    /// are fractional; rounding per charge keeps totals stable.
+    pub fn charge_ns_f64(&self, ns: f64) -> Nanos {
+        self.charge_ns(ns.max(0.0).round() as Nanos)
+    }
+
+    /// Starts a measurement span anchored at the current time.
+    pub fn span(&self) -> ClockGuard {
+        ClockGuard {
+            clock: self.clone(),
+            start: self.now_ns(),
+        }
+    }
+
+    /// Returns `true` if two handles refer to the same underlying clock.
+    pub fn same_clock(&self, other: &VirtualClock) -> bool {
+        Arc::ptr_eq(&self.ns, &other.ns)
+    }
+}
+
+impl fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VirtualClock")
+            .field("now_ns", &self.now_ns())
+            .finish()
+    }
+}
+
+/// A span of virtual time anchored at the moment [`VirtualClock::span`] was
+/// called.
+///
+/// # Examples
+///
+/// ```
+/// use cycada_sim::VirtualClock;
+///
+/// let clock = VirtualClock::new();
+/// let span = clock.span();
+/// clock.charge_ns(42);
+/// assert_eq!(span.elapsed_ns(), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClockGuard {
+    clock: VirtualClock,
+    start: Nanos,
+}
+
+impl ClockGuard {
+    /// Virtual nanoseconds elapsed since the span started.
+    pub fn elapsed_ns(&self) -> Nanos {
+        self.clock.now_ns().saturating_sub(self.start)
+    }
+
+    /// The virtual time at which this span started.
+    pub fn start_ns(&self) -> Nanos {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(VirtualClock::new().now_ns(), 0);
+    }
+
+    #[test]
+    fn charge_accumulates() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.charge_ns(10), 10);
+        assert_eq!(clock.charge_ns(5), 15);
+        assert_eq!(clock.now_ns(), 15);
+    }
+
+    #[test]
+    fn fractional_charge_rounds() {
+        let clock = VirtualClock::new();
+        clock.charge_ns_f64(1.4);
+        assert_eq!(clock.now_ns(), 1);
+        clock.charge_ns_f64(1.5);
+        assert_eq!(clock.now_ns(), 3);
+        clock.charge_ns_f64(-7.0);
+        assert_eq!(clock.now_ns(), 3, "negative costs clamp to zero");
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.charge_ns(7);
+        assert_eq!(b.now_ns(), 7);
+        assert!(a.same_clock(&b));
+        assert!(!a.same_clock(&VirtualClock::new()));
+    }
+
+    #[test]
+    fn span_measures_elapsed() {
+        let clock = VirtualClock::new();
+        clock.charge_ns(100);
+        let span = clock.span();
+        assert_eq!(span.start_ns(), 100);
+        clock.charge_ns(50);
+        assert_eq!(span.elapsed_ns(), 50);
+    }
+
+    #[test]
+    fn concurrent_charges_total_correctly() {
+        let clock = VirtualClock::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = clock.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.charge_ns(3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.now_ns(), 8 * 1000 * 3);
+    }
+}

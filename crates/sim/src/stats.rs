@@ -1,0 +1,242 @@
+//! Per-function virtual-time accounting.
+//!
+//! Figures 7–10 of the paper report, for the top GLES/EAGL-bridge
+//! functions, the percentage of total graphics time consumed and the
+//! average time per call. [`FunctionStats`] is the instrumentation that
+//! collects exactly those two quantities for every named function in the
+//! simulated graphics stack.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::Nanos;
+
+/// Accumulated measurements for one named function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FunctionRecord {
+    /// Number of calls observed.
+    pub calls: u64,
+    /// Total virtual nanoseconds attributed to the function.
+    pub total_ns: Nanos,
+}
+
+impl FunctionRecord {
+    /// Average virtual nanoseconds per call (0 when never called).
+    pub fn avg_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// A named function's share of the total recorded time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionShare {
+    /// The function name as recorded.
+    pub name: String,
+    /// The raw record.
+    pub record: FunctionRecord,
+    /// Percentage of the total recorded time (0–100).
+    pub percent_of_total: f64,
+}
+
+/// Thread-safe registry of per-function call counts and virtual time.
+///
+/// Cloning is cheap and shares the underlying storage, so one collector can
+/// be threaded through the whole simulated graphics stack.
+///
+/// # Examples
+///
+/// ```
+/// use cycada_sim::stats::FunctionStats;
+///
+/// let stats = FunctionStats::new();
+/// stats.record("glClear", 939_000);
+/// stats.record("glFlush", 506_000);
+/// stats.record("glFlush", 494_000);
+/// let top = stats.ranked_by_total();
+/// assert_eq!(top[0].name, "glFlush");
+/// assert_eq!(top[0].record.calls, 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct FunctionStats {
+    inner: Arc<Mutex<HashMap<String, FunctionRecord>>>,
+}
+
+impl FunctionStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one call to `name` costing `ns` virtual nanoseconds.
+    pub fn record(&self, name: &str, ns: Nanos) {
+        let mut map = self.inner.lock();
+        let entry = map.entry(name.to_owned()).or_default();
+        entry.calls += 1;
+        entry.total_ns += ns;
+    }
+
+    /// Returns the record for `name`, if it was ever called.
+    pub fn get(&self, name: &str) -> Option<FunctionRecord> {
+        self.inner.lock().get(name).copied()
+    }
+
+    /// Total virtual time across all recorded functions.
+    pub fn total_ns(&self) -> Nanos {
+        self.inner.lock().values().map(|r| r.total_ns).sum()
+    }
+
+    /// Total number of recorded calls across all functions.
+    pub fn total_calls(&self) -> u64 {
+        self.inner.lock().values().map(|r| r.calls).sum()
+    }
+
+    /// Number of distinct function names recorded.
+    pub fn function_count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// All functions ranked by descending total time, each annotated with
+    /// its share of the grand total — the layout of Figures 7 and 8.
+    pub fn ranked_by_total(&self) -> Vec<FunctionShare> {
+        let map = self.inner.lock();
+        let total: Nanos = map.values().map(|r| r.total_ns).sum();
+        let mut rows: Vec<FunctionShare> = map
+            .iter()
+            .map(|(name, record)| FunctionShare {
+                name: name.clone(),
+                record: *record,
+                percent_of_total: if total == 0 {
+                    0.0
+                } else {
+                    100.0 * record.total_ns as f64 / total as f64
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.record
+                .total_ns
+                .cmp(&a.record.total_ns)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        rows
+    }
+
+    /// The top `n` functions by total time.
+    pub fn top_n(&self, n: usize) -> Vec<FunctionShare> {
+        let mut rows = self.ranked_by_total();
+        rows.truncate(n);
+        rows
+    }
+
+    /// Adds a pre-aggregated record (used when merging collectors).
+    pub fn add_record(&self, name: &str, record: FunctionRecord) {
+        let mut map = self.inner.lock();
+        let entry = map.entry(name.to_owned()).or_default();
+        entry.calls += record.calls;
+        entry.total_ns += record.total_ns;
+    }
+
+    /// Merges another collector's records into this one.
+    pub fn merge(&self, other: &FunctionStats) {
+        for share in other.ranked_by_total() {
+            self.add_record(&share.name, share.record);
+        }
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+impl fmt::Debug for FunctionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionStats")
+            .field("functions", &self.function_count())
+            .field("total_ns", &self.total_ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = FunctionStats::new();
+        assert_eq!(s.total_ns(), 0);
+        assert_eq!(s.total_calls(), 0);
+        assert_eq!(s.function_count(), 0);
+        assert!(s.ranked_by_total().is_empty());
+        assert!(s.get("glClear").is_none());
+    }
+
+    #[test]
+    fn record_accumulates_per_function() {
+        let s = FunctionStats::new();
+        s.record("a", 10);
+        s.record("a", 30);
+        s.record("b", 5);
+        let a = s.get("a").unwrap();
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.total_ns, 40);
+        assert_eq!(a.avg_ns(), 20.0);
+        assert_eq!(s.total_ns(), 45);
+        assert_eq!(s.total_calls(), 3);
+        assert_eq!(s.function_count(), 2);
+    }
+
+    #[test]
+    fn ranking_and_shares() {
+        let s = FunctionStats::new();
+        s.record("hot", 75);
+        s.record("cold", 25);
+        let rows = s.ranked_by_total();
+        assert_eq!(rows[0].name, "hot");
+        assert!((rows[0].percent_of_total - 75.0).abs() < 1e-9);
+        assert!((rows[1].percent_of_total - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_ties_break_by_name() {
+        let s = FunctionStats::new();
+        s.record("zeta", 10);
+        s.record("alpha", 10);
+        let rows = s.ranked_by_total();
+        assert_eq!(rows[0].name, "alpha");
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let s = FunctionStats::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            s.record(name, (i as u64 + 1) * 10);
+        }
+        let top = s.top_n(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].name, "d");
+    }
+
+    #[test]
+    fn clones_share_storage_and_reset_clears() {
+        let s = FunctionStats::new();
+        let t = s.clone();
+        t.record("x", 1);
+        assert_eq!(s.total_calls(), 1);
+        s.reset();
+        assert_eq!(t.total_calls(), 0);
+    }
+
+    #[test]
+    fn zero_call_record_avg_is_zero() {
+        assert_eq!(FunctionRecord::default().avg_ns(), 0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! The deterministic page set: "the top 30 websites in the US" plus the
+//! Acid-style reference page (§9 functionality experiments).
+//!
+//! Real site content is unavailable offline (and changes daily), so each
+//! site is a deterministic synthetic page generated from the site's name —
+//! boxes, text runs and images with realistic element mixes. What matters
+//! for the reproduction is that the *same* page is rendered through
+//! different graphics stacks and compared pixel-for-pixel.
+
+use cycada_sim::SimRng;
+
+/// One page element, positioned in viewport fractions (`0.0..=1.0`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A solid-colored box (layout container, header bar...).
+    Box {
+        /// Left edge (fraction of viewport width).
+        x: f32,
+        /// Top edge (fraction of viewport height).
+        y: f32,
+        /// Width fraction.
+        w: f32,
+        /// Height fraction.
+        h: f32,
+        /// Fill color.
+        color: [f32; 4],
+    },
+    /// A text run, painted as a deterministic glyph stipple.
+    Text {
+        /// Left edge fraction.
+        x: f32,
+        /// Top edge fraction.
+        y: f32,
+        /// Width fraction.
+        w: f32,
+        /// Height fraction.
+        h: f32,
+        /// Ink coverage in `0.0..=1.0`.
+        density: f32,
+        /// Ink color.
+        color: [f32; 4],
+    },
+    /// An image, painted as seeded coordinate noise.
+    Image {
+        /// Left edge fraction.
+        x: f32,
+        /// Top edge fraction.
+        y: f32,
+        /// Width fraction.
+        w: f32,
+        /// Height fraction.
+        h: f32,
+        /// Content seed.
+        seed: u64,
+    },
+}
+
+/// A laid-out web page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WebPage {
+    /// The page's name (site or test identifier).
+    pub name: String,
+    /// The elements, painted in order (back to front).
+    pub elements: Vec<Element>,
+}
+
+/// The "top 30 websites in the US" set (April 2014 Alexa snapshot named in
+/// the paper's reference list).
+pub const TOP_30_SITES: [&str; 30] = [
+    "google.com",
+    "facebook.com",
+    "youtube.com",
+    "yahoo.com",
+    "amazon.com",
+    "wikipedia.org",
+    "ebay.com",
+    "twitter.com",
+    "linkedin.com",
+    "craigslist.org",
+    "bing.com",
+    "pinterest.com",
+    "live.com",
+    "espn.com",
+    "instagram.com",
+    "tumblr.com",
+    "reddit.com",
+    "paypal.com",
+    "netflix.com",
+    "imgur.com",
+    "cnn.com",
+    "blogspot.com",
+    "nytimes.com",
+    "aol.com",
+    "apple.com",
+    "imdb.com",
+    "wordpress.com",
+    "huffingtonpost.com",
+    "msn.com",
+    "weather.com",
+];
+
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl WebPage {
+    /// Generates the deterministic page for a site name.
+    pub fn for_site(name: &str) -> WebPage {
+        let mut rng = SimRng::new(hash_name(name));
+        let mut elements = Vec::new();
+        // Background.
+        elements.push(Element::Box {
+            x: 0.0,
+            y: 0.0,
+            w: 1.0,
+            h: 1.0,
+            color: [0.97, 0.97, 0.95, 1.0],
+        });
+        // Header bar with the site's "brand color".
+        let brand = [
+            rng.next_f64() as f32,
+            rng.next_f64() as f32,
+            rng.next_f64() as f32,
+            1.0,
+        ];
+        elements.push(Element::Box {
+            x: 0.0,
+            y: 0.0,
+            w: 1.0,
+            h: 0.08,
+            color: brand,
+        });
+        // Content: a site-specific mix of text blocks and images.
+        let blocks = 8 + rng.below(10) as usize;
+        for i in 0..blocks {
+            let y = 0.1 + 0.85 * (i as f32 / blocks as f32);
+            let h = 0.7 / blocks as f32;
+            if rng.next_f64() < 0.65 {
+                elements.push(Element::Text {
+                    x: 0.05,
+                    y,
+                    w: 0.6 + rng.next_f64() as f32 * 0.3,
+                    h,
+                    density: 0.25 + rng.next_f64() as f32 * 0.4,
+                    color: [0.1, 0.1, 0.12, 1.0],
+                });
+            } else {
+                elements.push(Element::Image {
+                    x: 0.05 + rng.next_f64() as f32 * 0.3,
+                    y,
+                    w: 0.3 + rng.next_f64() as f32 * 0.3,
+                    h,
+                    seed: rng.next_u64(),
+                });
+            }
+        }
+        // Sidebar.
+        elements.push(Element::Box {
+            x: 0.78,
+            y: 0.1,
+            w: 0.2,
+            h: 0.8,
+            color: [0.9, 0.9, 0.93, 1.0],
+        });
+        WebPage {
+            name: name.to_owned(),
+            elements,
+        }
+    }
+
+    /// The Acid-style reference page: a fixed composition whose rendering
+    /// is compared pixel-for-pixel against a reference (§9: "having the
+    /// final page look exactly, pixel for pixel, like the reference
+    /// rendering").
+    pub fn acid() -> WebPage {
+        let mut elements = vec![Element::Box {
+            x: 0.0,
+            y: 0.0,
+            w: 1.0,
+            h: 1.0,
+            color: [1.0, 1.0, 1.0, 1.0],
+        }];
+        // The classic colored-rectangle row.
+        let colors = [
+            [1.0, 0.0, 0.0, 1.0],
+            [1.0, 0.65, 0.0, 1.0],
+            [1.0, 1.0, 0.0, 1.0],
+            [0.0, 0.8, 0.0, 1.0],
+            [0.0, 0.0, 1.0, 1.0],
+        ];
+        for (i, color) in colors.iter().enumerate() {
+            elements.push(Element::Box {
+                x: 0.1 + 0.16 * i as f32,
+                y: 0.3,
+                w: 0.14,
+                h: 0.4,
+                color: *color,
+            });
+        }
+        elements.push(Element::Text {
+            x: 0.1,
+            y: 0.1,
+            w: 0.8,
+            h: 0.1,
+            density: 0.5,
+            color: [0.0, 0.0, 0.0, 1.0],
+        });
+        WebPage {
+            name: "acid".to_owned(),
+            elements,
+        }
+    }
+
+    /// A small page summarizing a benchmark result (what the SunSpider
+    /// harness renders between tests).
+    pub fn benchmark_results(test: &str, rows: usize) -> WebPage {
+        let mut elements = vec![Element::Box {
+            x: 0.0,
+            y: 0.0,
+            w: 1.0,
+            h: 1.0,
+            color: [1.0, 1.0, 1.0, 1.0],
+        }];
+        elements.push(Element::Text {
+            x: 0.05,
+            y: 0.02,
+            w: 0.9,
+            h: 0.06,
+            density: 0.5,
+            color: [0.0, 0.0, 0.0, 1.0],
+        });
+        for i in 0..rows {
+            elements.push(Element::Text {
+                x: 0.08,
+                y: 0.12 + 0.05 * i as f32,
+                w: 0.5,
+                h: 0.035,
+                density: 0.35,
+                color: [0.2, 0.2, 0.2, 1.0],
+            });
+        }
+        WebPage {
+            name: format!("results-{test}"),
+            elements,
+        }
+    }
+}
+
+/// Deterministic pseudo-noise for image pixels, independent of tiling.
+pub fn image_noise(seed: u64, x: u32, y: u32) -> [u8; 4] {
+    let mut z = seed ^ (u64::from(x) << 32) ^ u64::from(y);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    [
+        (z & 0xff) as u8,
+        ((z >> 8) & 0xff) as u8,
+        ((z >> 16) & 0xff) as u8,
+        255,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_pages_are_deterministic() {
+        let a = WebPage::for_site("google.com");
+        let b = WebPage::for_site("google.com");
+        assert_eq!(a, b);
+        let c = WebPage::for_site("facebook.com");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn thirty_distinct_sites() {
+        let set: std::collections::HashSet<_> = TOP_30_SITES.iter().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn pages_have_background_and_content() {
+        for site in TOP_30_SITES {
+            let page = WebPage::for_site(site);
+            assert!(
+                page.elements.len() >= 10,
+                "{site} has only {} elements",
+                page.elements.len()
+            );
+            assert!(matches!(page.elements[0], Element::Box { .. }));
+        }
+    }
+
+    #[test]
+    fn acid_page_is_fixed() {
+        assert_eq!(WebPage::acid(), WebPage::acid());
+        assert_eq!(WebPage::acid().elements.len(), 7);
+    }
+
+    #[test]
+    fn image_noise_is_coordinate_determined() {
+        assert_eq!(image_noise(1, 2, 3), image_noise(1, 2, 3));
+        assert_ne!(image_noise(1, 2, 3), image_noise(1, 3, 2));
+        assert_ne!(image_noise(2, 2, 3), image_noise(1, 2, 3));
+    }
+}

@@ -1,0 +1,10 @@
+//! Host crate for the runnable examples in this directory.
+//!
+//! Run them with, e.g.:
+//!
+//! ```sh
+//! cargo run -p cycada-examples --example quickstart
+//! cargo run -p cycada-examples --example safari_browser
+//! cargo run -p cycada-examples --example multi_gles_game
+//! cargo run -p cycada-examples --example async_texture_loader
+//! ```

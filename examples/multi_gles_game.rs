@@ -1,0 +1,86 @@
+//! The paper's §8 motivating scenario: an iOS game that renders its world
+//! with GLES **v1** while a WebKit "about" page renders with GLES **v2**
+//! in the same process — impossible on stock Android (one EGL-to-GLES
+//! connection, one version per process), made to work by Cycada's dynamic
+//! library replication behind the `EGL_multi_context` extension.
+
+use cycada::CycadaDevice;
+use cycada_gles::{GlesVersion, MatrixMode, Primitive};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = CycadaDevice::boot_with_display(Some((320, 200)))?;
+    let tid = device.main_tid();
+    let eagl = device.eagl();
+    let bridge = device.bridge();
+    let linker = device.linker();
+
+    println!("iOS game starting: creating its GLES v1 EAGLContext...");
+    let game = eagl.init_with_api(tid, GlesVersion::V1)?;
+    println!("WebKit creating its implicit GLES v2 EAGLContext...");
+    let webkit = eagl.init_with_api(tid, GlesVersion::V2)?;
+
+    println!(
+        "\nDLR at work: libui_wrapper constructors run {} times, vendor GLES {} times, {} live replicas",
+        linker.constructor_runs(cycada::LIBUI_WRAPPER),
+        linker.constructor_runs(cycada_egl::loadout::VENDOR_GLES_LIB),
+        linker.replica_count(),
+    );
+    println!(
+        "Connections: game={} webkit={} (distinct replicas, distinct GLES versions)",
+        eagl.connection(game)?,
+        eagl.connection(webkit)?
+    );
+
+    // Render a game frame with fixed-function v1 calls.
+    eagl.set_current_context(tid, Some(game))?;
+    let rb = eagl.renderbuffer_storage_from_drawable(tid, game, 320, 200)?;
+    let fbo = bridge.gen_framebuffers(tid, 1)?[0];
+    bridge.bind_framebuffer(tid, fbo)?;
+    bridge.framebuffer_renderbuffer(tid, rb)?;
+    bridge.clear_color(tid, 0.0, 0.2, 0.0, 1.0)?;
+    bridge.clear(tid, true, false)?;
+    bridge.matrix_mode(tid, MatrixMode::ModelView)?;
+    bridge.load_identity(tid)?;
+    bridge.rotatef(tid, 30.0, 0.0, 0.0, 1.0)?;
+    bridge.enable_client_state(tid, cycada_gles::ClientState::VertexArray)?;
+    bridge.vertex_pointer(tid, 2, &[-0.5, -0.5, 0.5, -0.5, 0.0, 0.6])?;
+    bridge.color4f(tid, 1.0, 0.8, 0.0, 1.0)?;
+    bridge.draw_arrays(tid, Primitive::Triangles, 0, 3)?;
+    eagl.present_renderbuffer(tid, game)?;
+    println!("\nGame frame (v1 matrix pipeline) presented.");
+
+    // The player opens the "about" page: WebKit renders with v2 shaders.
+    eagl.set_current_context(tid, Some(webkit))?;
+    let rb2 = eagl.renderbuffer_storage_from_drawable(tid, webkit, 320, 200)?;
+    let fbo2 = bridge.gen_framebuffers(tid, 1)?[0];
+    bridge.bind_framebuffer(tid, fbo2)?;
+    bridge.framebuffer_renderbuffer(tid, rb2)?;
+    let vs = bridge.create_shader(tid)?;
+    bridge.shader_source(tid, vs, "attribute vec3 a_pos; uniform mat4 u_mvp;")?;
+    bridge.compile_shader(tid, vs)?;
+    let fs = bridge.create_shader(tid)?;
+    bridge.shader_source(tid, fs, "uniform vec4 u_color;")?;
+    bridge.compile_shader(tid, fs)?;
+    let prog = bridge.create_program(tid)?;
+    bridge.attach_shader(tid, prog, vs)?;
+    bridge.attach_shader(tid, prog, fs)?;
+    bridge.link_program(tid, prog)?;
+    bridge.use_program(tid, prog)?;
+    let color = bridge.uniform_location(tid, prog, "u_color")?;
+    bridge.uniform4f(tid, color, 1.0, 1.0, 1.0, 1.0)?;
+    bridge.clear_color(tid, 0.15, 0.15, 0.15, 1.0)?;
+    bridge.clear(tid, true, false)?;
+    bridge.enable_vertex_attrib_array(tid, 0)?;
+    bridge.vertex_attrib_pointer(tid, 0, 2, &[-0.9, -0.2, 0.9, -0.2, 0.0, 0.8])?;
+    bridge.draw_arrays(tid, Primitive::Triangles, 0, 3)?;
+    eagl.present_renderbuffer(tid, webkit)?;
+    println!("About page (v2 shader pipeline) presented.");
+
+    // Back to the game — its v1 state is intact in its own replica.
+    eagl.set_current_context(tid, Some(game))?;
+    bridge.draw_arrays(tid, Primitive::Triangles, 0, 3)?;
+    eagl.present_renderbuffer(tid, game)?;
+    println!("Game resumed; {} frames on screen.", device.kernel().display().frames_presented());
+    println!("\nOK: two GLES versions, one process — stock Android EGL cannot do this.");
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! CPU/GPU sharing through IOSurfaces — the §6.2 dance, end to end.
+//!
+//! A photo-editor-style iOS app draws into an IOSurface with the CPU
+//! (CoreGraphics-style), displays it through a GLES texture, applies a CPU
+//! filter while the surface is `IOSurfaceLock`ed, and re-renders. On
+//! Android the backing GraphicBuffer cannot be CPU-locked while a GLES
+//! texture holds it — Cycada's multi diplomats transparently break and
+//! re-establish the association around every lock/unlock pair.
+
+use cycada::CycadaDevice;
+use cycada_gles::GlesVersion;
+use cycada_gpu::Rgba;
+use cycada_iosurface::SurfaceProps;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = CycadaDevice::boot_with_display(Some((256, 160)))?;
+    let tid = device.main_tid();
+    let eagl = device.eagl();
+    let bridge = device.bridge();
+    let iosb = device.iosurface_bridge();
+
+    // Standard EAGL setup: context + drawable + FBO.
+    let ctx = eagl.init_with_api(tid, GlesVersion::V2)?;
+    eagl.set_current_context(tid, Some(ctx))?;
+    let rb = eagl.renderbuffer_storage_from_drawable(tid, ctx, 256, 160)?;
+    let fbo = bridge.gen_framebuffers(tid, 1)?[0];
+    bridge.bind_framebuffer(tid, fbo)?;
+    bridge.framebuffer_renderbuffer(tid, rb)?;
+
+    // The "photo": an IOSurface the CPU will draw into.
+    let photo = iosb.create(tid, SurfaceProps::bgra(64, 64))?;
+    let buffer = iosb.buffer_for(photo.id())?;
+    println!(
+        "IOSurface {} backed by GraphicBuffer {} (zero-copy: {})",
+        photo.id(),
+        buffer.handle(),
+        buffer.image().buffer().same_allocation(photo.base_address()),
+    );
+
+    // CoreGraphics draws the original image (CPU, surface unlocked is
+    // fine while no texture is bound yet).
+    let image = photo.as_image();
+    for y in 0..64 {
+        for x in 0..64 {
+            let v = ((x ^ y) & 31) as f32 / 31.0;
+            image.set_pixel(x, y, Rgba::new(v, 0.4, 1.0 - v, 1.0));
+        }
+    }
+
+    // Bind the IOSurface to a GLES texture and display it.
+    let tex = bridge.gen_textures(tid, 1)?[0];
+    iosb.tex_image_io_surface(tid, photo.id(), tex)?;
+    bridge.clear_color(tid, 0.0, 0.0, 0.0, 1.0)?;
+    bridge.clear(tid, true, false)?;
+    println!(
+        "texture bound: GraphicBuffer GLES associations = {}",
+        buffer.gles_association_count()
+    );
+    assert!(buffer.lock_cpu().is_err(), "raw Android rule: lock refused");
+
+    // Apply a CPU filter: IOSurfaceLock -> draw -> IOSurfaceUnlock.
+    // Behind the scenes: texture rebinds to a 1x1 buffer, the EGLImage is
+    // destroyed, the GraphicBuffer is CPU-locked... and on unlock it is
+    // all transparently re-established (§6.2).
+    iosb.lock(tid, &photo)?;
+    println!(
+        "locked:  associations = {}, cpu_locked = {}",
+        buffer.gles_association_count(),
+        buffer.is_cpu_locked()
+    );
+    for y in 0..64 {
+        for x in 0..64 {
+            let px = image.pixel_rgba(x, y);
+            // "Sepia" filter.
+            image.set_pixel(
+                x,
+                y,
+                Rgba::new(px.r * 0.9 + 0.1, px.g * 0.7 + 0.1, px.b * 0.4, 1.0),
+            );
+        }
+    }
+    iosb.unlock(tid, &photo)?;
+    println!(
+        "unlocked: associations = {} (texture rebound transparently)",
+        buffer.gles_association_count()
+    );
+
+    // The filtered photo renders through the same texture name.
+    let vendor_ctx = device
+        .egl()
+        .vendor_context(device.egl().current_context(tid).expect("current"))?;
+    let gles = device.egl().gles_for_thread(tid)?;
+    let tex_pixel = gles
+        .context(vendor_ctx)
+        .expect("context")
+        .lock()
+        .texture_image(tex)
+        .expect("texture storage")
+        .pixel_rgba(10, 10)
+        .to_bytes();
+    println!("texture sees the filtered pixel: {tex_pixel:?}");
+    eagl.present_renderbuffer(tid, ctx)?;
+
+    // Cleanup: deleting the texture drops the association (§6.1).
+    bridge.delete_textures(tid, &[tex])?;
+    assert_eq!(buffer.gles_association_count(), 0);
+    iosb.release(tid, &photo)?;
+    println!(
+        "released; remaining bridged surfaces = {} (the EAGL drawable)",
+        iosb.live_surfaces()
+    );
+    println!("\nOK: CPU and GPU shared one IOSurface across the lock dance.");
+    Ok(())
+}

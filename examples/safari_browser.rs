@@ -1,0 +1,56 @@
+//! Safari on Cycada: browse the top-30 US sites and run the Acid test.
+//!
+//! Reproduces the §9 functionality experiments: every page rendered by the
+//! iOS browser through the Cycada bridge is compared pixel-for-pixel
+//! against the reference rendering (the same engine on stock Android —
+//! same panel, same GPU, different code path).
+
+use cycada_sim::Platform;
+use cycada_workloads::browser::Browser;
+use cycada_workloads::pages::TOP_30_SITES;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Small panel keeps the software rasterizer quick for a demo.
+    let display = Some((320, 200));
+    println!("Launching reference browser (stock Android) and Safari (Cycada iOS)...");
+    let mut reference = Browser::launch_with_display(Platform::StockAndroid, display)?;
+    let mut safari = Browser::launch_with_display(Platform::CycadaIos, display)?;
+
+    let mut matched = 0;
+    for &site in TOP_30_SITES.iter() {
+        let expect = reference.browse(site)?;
+        let got = safari.browse(site)?;
+        let ok = expect == got;
+        matched += u32::from(ok);
+        println!(
+            "  {:<24} {}",
+            site,
+            if ok { "ok (pixel-identical)" } else { "MISMATCH" }
+        );
+    }
+    println!("Rendered correctly: {matched}/30 sites");
+
+    let (ref_score, ref_hash) = reference.run_acid3()?;
+    let (score, hash) = safari.run_acid3()?;
+    println!("\nAcid test: Safari on Cycada scores {score}/100 (reference {ref_score}/100)");
+    println!(
+        "Reference rendering comparison: {}",
+        if hash == ref_hash {
+            "pixel for pixel identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // SunSpider, the JIT story: Safari on Cycada runs without JIT.
+    let run = safari.run_sunspider(None)?;
+    let reference_run = reference.run_sunspider(None)?;
+    println!(
+        "\nSunSpider total: Cycada iOS {:.1} ms vs Android {:.1} ms ({:.1}x, JIT {})",
+        run.total as f64 / 1e6,
+        reference_run.total as f64 / 1e6,
+        run.total as f64 / reference_run.total as f64,
+        if run.jit { "on" } else { "off — the Mach VM bug" }
+    );
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Host crate for the cross-crate integration tests in `tests/tests/`.
+//!
+//! The tests exercise the full Cycada pipeline end-to-end: iOS app code →
+//! diplomatic GLES bridge → persona switches → Android vendor stack →
+//! SurfaceFlinger → display, plus the three headline OS mechanisms
+//! (diplomat usage patterns, thread impersonation, dynamic library
+//! replication) in combination.

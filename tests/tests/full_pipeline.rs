@@ -1,0 +1,226 @@
+//! End-to-end pipeline tests: iOS app code through the Cycada bridge to
+//! the display, compared against the native paths.
+
+use cycada::AppGl;
+use cycada_gles::{GlesVersion, Primitive};
+use cycada_sim::{Persona, Platform};
+
+const SMALL: Option<(u32, u32)> = Some((128, 96));
+
+fn triangle() -> [f32; 9] {
+    [-1.0, -1.0, 0.0, 3.0, -1.0, 0.0, -1.0, 3.0, 0.0]
+}
+
+#[test]
+fn cycada_ios_renders_to_display_through_the_whole_stack() {
+    let app = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V1, SMALL).unwrap();
+    app.clear(0.0, 0.0, 0.0, 1.0).unwrap();
+    app.draw(Primitive::Triangles, &triangle(), [1.0, 0.0, 0.0, 1.0])
+        .unwrap();
+    app.present().unwrap();
+    assert_eq!(app.display().pixel(20, 20), [255, 0, 0, 255]);
+    assert_eq!(app.display().frames_presented(), 1);
+}
+
+#[test]
+fn all_four_platforms_render_the_same_scene() {
+    let mut hashes = Vec::new();
+    for platform in [
+        Platform::StockAndroid,
+        Platform::CycadaAndroid,
+        Platform::CycadaIos,
+        Platform::NativeIos,
+    ] {
+        let app = AppGl::boot_with_display(platform, GlesVersion::V1, SMALL).unwrap();
+        app.clear(0.0, 0.0, 0.2, 1.0).unwrap();
+        app.draw(Primitive::Triangles, &triangle(), [0.0, 1.0, 0.0, 1.0])
+            .unwrap();
+        app.present().unwrap();
+        let hash: u64 = {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in app.display().scanout().to_vec() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        };
+        hashes.push((platform, hash));
+    }
+    // Pixel-for-pixel identical output across every configuration.
+    let first = hashes[0].1;
+    for (platform, hash) in &hashes {
+        assert_eq!(*hash, first, "{platform:?} diverged");
+    }
+}
+
+#[test]
+fn diplomat_calls_switch_personas_around_every_gl_call() {
+    let app = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V1, SMALL).unwrap();
+    let device = app.cycada_device().unwrap();
+    let kernel = device.kernel();
+    let before = kernel.syscall_counts().set_persona;
+    app.clear(0.0, 0.0, 0.0, 1.0).unwrap();
+    let after = kernel.syscall_counts().set_persona;
+    // clear_color + clear = 2 diplomats = 4 persona switches.
+    assert_eq!(after - before, 4);
+    // And the thread ends back in its iOS persona.
+    assert_eq!(
+        kernel.current_persona(app.tid()).unwrap(),
+        Persona::Ios
+    );
+}
+
+#[test]
+fn v2_path_works_through_the_bridge() {
+    let app = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V2, SMALL).unwrap();
+    app.clear(0.0, 0.0, 0.0, 1.0).unwrap();
+    app.draw(Primitive::Triangles, &triangle(), [0.0, 0.0, 1.0, 1.0])
+        .unwrap();
+    app.present().unwrap();
+    assert_eq!(app.display().pixel(10, 10), [0, 0, 255, 255]);
+}
+
+#[test]
+fn transform_stack_matches_across_v1_gl_and_v2_uniform_paths() {
+    let render = |version| {
+        let mut app =
+            AppGl::boot_with_display(Platform::StockAndroid, version, SMALL).unwrap();
+        app.clear(0.0, 0.0, 0.0, 1.0).unwrap();
+        app.push_transform().unwrap();
+        app.rotate(90.0).unwrap();
+        app.scale(0.5, 0.5, 1.0).unwrap();
+        app.draw(Primitive::Triangles, &triangle(), [1.0, 1.0, 0.0, 1.0])
+            .unwrap();
+        app.pop_transform().unwrap();
+        app.present().unwrap();
+        app.display().scanout().to_vec()
+    };
+    assert_eq!(render(GlesVersion::V1), render(GlesVersion::V2));
+}
+
+#[test]
+fn eagl_present_goes_through_draw_fbo_tex_and_swap() {
+    let app = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V1, SMALL).unwrap();
+    app.clear(1.0, 0.5, 0.0, 1.0).unwrap();
+    app.present().unwrap();
+    let stats = app.gl_stats().unwrap();
+    // The §5 presentRenderbuffer path.
+    assert!(stats.get("aegl_bridge_draw_fbo_tex").is_some());
+    assert!(stats.get("eglSwapBuffers").is_some());
+    // Its cost is dominated by the full-screen quad + composition, not the
+    // diplomat mechanism.
+    let draw_fbo = stats.get("aegl_bridge_draw_fbo_tex").unwrap();
+    assert!(draw_fbo.avg_ns() > 10_000.0);
+}
+
+#[test]
+fn apple_fence_maps_to_nv_fence_on_cycada() {
+    let app = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V1, SMALL).unwrap();
+    let device = app.cycada_device().unwrap();
+    let bridge = device.bridge();
+    let tid = app.tid();
+
+    let fence = bridge.gen_fences_apple(tid, 1).unwrap()[0];
+    app.draw(Primitive::Triangles, &triangle(), [1.0, 1.0, 1.0, 1.0])
+        .unwrap();
+    bridge.set_fence_apple(tid, fence).unwrap();
+    assert!(!bridge.test_fence_apple(tid, fence).unwrap());
+    bridge.finish_fence_apple(tid, fence).unwrap();
+    assert!(bridge.test_fence_apple(tid, fence).unwrap());
+    bridge.delete_fences_apple(tid, &[fence]).unwrap();
+
+    // The bridge recorded these as indirect diplomats.
+    assert_eq!(
+        bridge.called_pattern("glSetFenceAPPLE"),
+        Some(cycada_diplomat::DiplomatPattern::Indirect)
+    );
+}
+
+#[test]
+fn gl_get_string_reports_android_extensions_and_apple_param_is_custom() {
+    let app = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V1, SMALL).unwrap();
+    let device = app.cycada_device().unwrap();
+    let bridge = device.bridge();
+    let tid = app.tid();
+
+    let exts = bridge
+        .get_string(tid, cycada_gles::StringName::Extensions)
+        .unwrap()
+        .unwrap();
+    assert!(exts.contains("GL_NV_fence"), "Android extension string");
+
+    // Apple's proprietary parameter: answered in foreign code with a
+    // custom (empty) string, not an error.
+    let apple = bridge
+        .get_string(tid, cycada_gles::StringName::AppleExtensions)
+        .unwrap();
+    assert_eq!(apple, Some(String::new()));
+}
+
+#[test]
+fn apple_row_bytes_repack_round_trips_through_the_bridge() {
+    let app = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V2, SMALL).unwrap();
+    let device = app.cycada_device().unwrap();
+    let bridge = device.bridge();
+    let tid = app.tid();
+
+    // Upload a 2x2 texture from 12-byte rows (APPLE_row_bytes).
+    bridge
+        .pixel_storei(tid, cycada_gles::PixelStoreParam::UnpackRowBytesApple, 12)
+        .unwrap();
+    let mut data = vec![0u8; 24];
+    data[0..4].copy_from_slice(&[255, 0, 0, 255]);
+    data[12..16].copy_from_slice(&[0, 255, 0, 255]);
+    let tex = bridge.gen_textures(tid, 1).unwrap()[0];
+    bridge.bind_texture(tid, tex).unwrap();
+    bridge
+        .tex_image_2d(tid, 2, 2, cycada_gles::TexFormat::Rgba, Some(&data))
+        .unwrap();
+    // No GL error on the Android side: the unknown enum never reached it.
+    assert_eq!(
+        bridge.get_error(tid).unwrap(),
+        cycada_gles::GlError::NoError
+    );
+
+    // Read pixels back with a padded pack stride.
+    bridge
+        .pixel_storei(tid, cycada_gles::PixelStoreParam::PackRowBytesApple, 20)
+        .unwrap();
+    bridge.clear_color(tid, 0.0, 0.0, 1.0, 1.0).unwrap();
+    bridge.clear(tid, true, false).unwrap();
+    let out = bridge
+        .read_pixels(tid, 0, 0, 2, 2, cycada_gles::TexFormat::Rgba)
+        .unwrap();
+    assert_eq!(out.len(), 40, "rows padded to 20 bytes");
+    assert_eq!(&out[0..4], &[0, 0, 255, 255]);
+    assert_eq!(&out[20..24], &[0, 0, 255, 255]);
+}
+
+#[test]
+fn bgra_textures_are_swizzled_for_the_tegra() {
+    let app = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V2, SMALL).unwrap();
+    // BGRA bytes for pure red: [0, 0, 255, 255].
+    let tex = app
+        .create_texture(1, 1, cycada_gles::TexFormat::Bgra, &[0, 0, 255, 255])
+        .unwrap();
+    app.clear(0.0, 0.0, 0.0, 1.0).unwrap();
+    app.draw_textured_quad(tex, -1.0, -1.0, 1.0, 1.0).unwrap();
+    app.present().unwrap();
+    assert_eq!(
+        app.display().pixel(5, 5),
+        [255, 0, 0, 255],
+        "red BGRA texel displayed as red"
+    );
+}
+
+#[test]
+fn extensions_differ_per_platform_as_apps_see_them() {
+    let cycada = AppGl::boot_with_display(Platform::CycadaIos, GlesVersion::V1, SMALL).unwrap();
+    let cycada_exts = cycada.extensions().unwrap().unwrap();
+    assert!(cycada_exts.contains("GL_NV_fence"));
+
+    let ios = AppGl::boot_with_display(Platform::NativeIos, GlesVersion::V1, SMALL).unwrap();
+    let ios_exts = ios.extensions().unwrap().unwrap();
+    assert!(ios_exts.contains("GL_APPLE_fence"));
+    assert!(!ios_exts.contains("GL_NV_fence"));
+}
