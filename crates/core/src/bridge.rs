@@ -15,13 +15,16 @@
 //! * the two **multi**-diplomat IOSurface binding functions live in
 //!   [`crate::IoSurfaceBridge`].
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use cycada_diplomat::{DiplomatEngine, DiplomatEntry, DiplomatPattern, HookKind};
+use cycada_diplomat::{
+    DiplomatEngine, DiplomatEntry, DiplomatPattern, DiplomatTable, FnId, HookKind,
+};
 use cycada_egl::loadout::VENDOR_GLES_LIB;
 use cycada_egl::AndroidEgl;
 use cycada_gles::{
@@ -30,6 +33,7 @@ use cycada_gles::{
 };
 use cycada_gpu::math::Mat4;
 use cycada_kernel::SimTid;
+use cycada_sim::fn_id;
 
 
 use crate::error::CycadaError;
@@ -47,25 +51,39 @@ struct RowBytes {
     pack: usize,
 }
 
+/// Distinguishes bridge instances in the thread-local row-bytes state so
+/// two bridges on one host thread cannot alias each other's entries.
+static NEXT_BRIDGE_INSTANCE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// `(bridge instance, sim tid)` → `APPLE_row_bytes` state. A short
+    /// linear-scanned vec: a thread touches a handful of (bridge, tid)
+    /// pairs, and the scan replaces the old global mutex + hash per call.
+    static ROW_BYTES: RefCell<Vec<((u64, u64), RowBytes)>> = const { RefCell::new(Vec::new()) };
+}
+
 type DeleteHook = Box<dyn Fn(&[u32]) + Send + Sync>;
 
 /// The diplomatic GLES library.
 pub struct GlesBridge {
     engine: Arc<DiplomatEngine>,
     egl: Arc<AndroidEgl>,
-    entries: Mutex<HashMap<&'static str, Arc<DiplomatEntry>>>,
-    row_bytes: Mutex<HashMap<u64, RowBytes>>,
+    entries: DiplomatTable,
+    instance: u64,
     on_delete_textures: Mutex<Option<DeleteHook>>,
 }
 
 impl GlesBridge {
-    /// Creates the bridge.
+    /// Creates the bridge. Forces the GLES registry so the whole bridged
+    /// surface holds stable, registration-order [`FnId`]s before the first
+    /// dispatch.
     pub fn new(engine: Arc<DiplomatEngine>, egl: Arc<AndroidEgl>) -> Self {
+        GlesRegistry::global();
         GlesBridge {
             engine,
             egl,
-            entries: Mutex::new(HashMap::new()),
-            row_bytes: Mutex::new(HashMap::new()),
+            entries: DiplomatTable::new(),
+            instance: NEXT_BRIDGE_INSTANCE.fetch_add(1, Ordering::Relaxed),
             on_delete_textures: Mutex::new(None),
         }
     }
@@ -83,23 +101,13 @@ impl GlesBridge {
 
     fn entry(
         &self,
-        name: &'static str,
+        id: FnId,
         android_symbol: &'static str,
         pattern: DiplomatPattern,
-    ) -> Arc<DiplomatEntry> {
-        self.entries
-            .lock()
-            .entry(name)
-            .or_insert_with(|| {
-                Arc::new(DiplomatEntry::new(
-                    name,
-                    VENDOR_GLES_LIB,
-                    android_symbol,
-                    pattern,
-                    HookKind::Gles,
-                ))
-            })
-            .clone()
+    ) -> &Arc<DiplomatEntry> {
+        self.entries.get_or_register(id, || {
+            DiplomatEntry::with_id(id, VENDOR_GLES_LIB, android_symbol, pattern, HookKind::Gles)
+        })
     }
 
     fn gles(&self, tid: SimTid) -> Result<Arc<VendorGles>> {
@@ -107,64 +115,77 @@ impl GlesBridge {
     }
 
     /// A direct diplomat: same-named Android function.
-    fn direct<R>(
-        &self,
-        tid: SimTid,
-        name: &'static str,
-        f: impl FnOnce(&VendorGles) -> R,
-    ) -> Result<R> {
-        let entry = self.entry(name, name, DiplomatPattern::Direct);
+    fn direct<R>(&self, tid: SimTid, id: FnId, f: impl FnOnce(&VendorGles) -> R) -> Result<R> {
+        let entry = self.entry(id, id.name(), DiplomatPattern::Direct);
         let gles = self.gles(tid)?;
-        Ok(self.engine.call(tid, &entry, || f(&gles))?)
+        Ok(self.engine.call(tid, entry, || f(&gles))?)
     }
 
     /// An indirect diplomat: redirected to a differently-named Android API.
     fn indirect<R>(
         &self,
         tid: SimTid,
-        name: &'static str,
+        id: FnId,
         android_symbol: &'static str,
         f: impl FnOnce(&VendorGles) -> R,
     ) -> Result<R> {
-        let entry = self.entry(name, android_symbol, DiplomatPattern::Indirect);
+        let entry = self.entry(id, android_symbol, DiplomatPattern::Indirect);
         let gles = self.gles(tid)?;
-        Ok(self.engine.call(tid, &entry, || f(&gles))?)
+        Ok(self.engine.call(tid, entry, || f(&gles))?)
     }
 
     /// A data-dependent diplomat that does invoke Android.
     fn data_dependent<R>(
         &self,
         tid: SimTid,
-        name: &'static str,
+        id: FnId,
         f: impl FnOnce(&VendorGles) -> R,
     ) -> Result<R> {
-        let entry = self.entry(name, name, DiplomatPattern::DataDependent);
+        let entry = self.entry(id, id.name(), DiplomatPattern::DataDependent);
         let gles = self.gles(tid)?;
-        Ok(self.engine.call(tid, &entry, || f(&gles))?)
+        Ok(self.engine.call(tid, entry, || f(&gles))?)
     }
 
     /// A data-dependent diplomat that stays entirely in foreign code
     /// ("some data-dependent diplomats may not invoke an Android function
-    /// at all", §4.1). Records the call under `name` with its (small)
+    /// at all", §4.1). Records the call under `id` with its (small)
     /// foreign-side cost.
-    fn foreign_only<R>(&self, tid: SimTid, name: &'static str, f: impl FnOnce() -> R) -> R {
+    fn foreign_only<R>(&self, tid: SimTid, id: FnId, f: impl FnOnce() -> R) -> R {
         let _ = tid;
         let clock = self.engine.kernel().clock();
         let span = clock.span();
         // Ensure the entry exists for classification introspection.
-        let _ = self.entry(name, name, DiplomatPattern::DataDependent);
+        let _ = self.entry(id, id.name(), DiplomatPattern::DataDependent);
         clock.charge_ns(40); // parameter inspection in foreign code
         let r = f();
-        self.engine.stats().record(name, span.elapsed_ns());
+        self.engine.stats().record_id(id, span.elapsed_ns());
         r
     }
 
     fn row_bytes(&self, tid: SimTid) -> RowBytes {
-        self.row_bytes
-            .lock()
-            .get(&tid.as_u64())
-            .copied()
-            .unwrap_or_default()
+        let key = (self.instance, tid.as_u64());
+        ROW_BYTES.with(|state| {
+            state
+                .borrow()
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, rb)| *rb)
+                .unwrap_or_default()
+        })
+    }
+
+    fn update_row_bytes(&self, tid: SimTid, f: impl FnOnce(&mut RowBytes)) {
+        let key = (self.instance, tid.as_u64());
+        ROW_BYTES.with(|state| {
+            let mut state = state.borrow_mut();
+            if let Some((_, rb)) = state.iter_mut().find(|(k, _)| *k == key) {
+                f(rb);
+            } else {
+                let mut rb = RowBytes::default();
+                f(&mut rb);
+                state.push((key, rb));
+            }
+        });
     }
 
     fn charge_repack(&self, bytes: usize) {
@@ -180,89 +201,89 @@ impl GlesBridge {
 
     /// `glClearColor`.
     pub fn clear_color(&self, tid: SimTid, r: f32, g: f32, b: f32, a: f32) -> Result<()> {
-        self.direct(tid, "glClearColor", |gl| {
+        self.direct(tid, fn_id!("glClearColor"), |gl| {
             gl.with_current(tid, |c| c.clear_color(r, g, b, a))
         })
     }
 
     /// `glClear`.
     pub fn clear(&self, tid: SimTid, color: bool, depth: bool) -> Result<()> {
-        self.direct(tid, "glClear", |gl| {
+        self.direct(tid, fn_id!("glClear"), |gl| {
             gl.with_current(tid, |c| c.clear(color, depth))
         })
     }
 
     /// `glViewport`.
     pub fn viewport(&self, tid: SimTid, x: i32, y: i32, w: u32, h: u32) -> Result<()> {
-        self.direct(tid, "glViewport", |gl| {
+        self.direct(tid, fn_id!("glViewport"), |gl| {
             gl.with_current(tid, |c| c.set_viewport(x, y, w, h))
         })
     }
 
     /// `glScissor`.
     pub fn scissor(&self, tid: SimTid, x: i32, y: i32, w: u32, h: u32) -> Result<()> {
-        self.direct(tid, "glScissor", |gl| {
+        self.direct(tid, fn_id!("glScissor"), |gl| {
             gl.with_current(tid, |c| c.set_scissor(x, y, w, h))
         })
     }
 
     /// `glEnable`.
     pub fn enable(&self, tid: SimTid, cap: Capability) -> Result<()> {
-        self.direct(tid, "glEnable", |gl| gl.with_current(tid, |c| c.enable(cap)))
+        self.direct(tid, fn_id!("glEnable"), |gl| gl.with_current(tid, |c| c.enable(cap)))
     }
 
     /// `glDisable`.
     pub fn disable(&self, tid: SimTid, cap: Capability) -> Result<()> {
-        self.direct(tid, "glDisable", |gl| {
+        self.direct(tid, fn_id!("glDisable"), |gl| {
             gl.with_current(tid, |c| c.disable(cap))
         })
     }
 
     /// `glMatrixMode`.
     pub fn matrix_mode(&self, tid: SimTid, mode: MatrixMode) -> Result<()> {
-        self.direct(tid, "glMatrixMode", |gl| {
+        self.direct(tid, fn_id!("glMatrixMode"), |gl| {
             gl.with_current(tid, |c| c.matrix_mode(mode))
         })
     }
 
     /// `glLoadIdentity`.
     pub fn load_identity(&self, tid: SimTid) -> Result<()> {
-        self.direct(tid, "glLoadIdentity", |gl| {
+        self.direct(tid, fn_id!("glLoadIdentity"), |gl| {
             gl.with_current(tid, |c| c.load_identity())
         })
     }
 
     /// `glPushMatrix`.
     pub fn push_matrix(&self, tid: SimTid) -> Result<()> {
-        self.direct(tid, "glPushMatrix", |gl| {
+        self.direct(tid, fn_id!("glPushMatrix"), |gl| {
             gl.with_current(tid, |c| c.push_matrix())
         })
     }
 
     /// `glPopMatrix`.
     pub fn pop_matrix(&self, tid: SimTid) -> Result<()> {
-        self.direct(tid, "glPopMatrix", |gl| {
+        self.direct(tid, fn_id!("glPopMatrix"), |gl| {
             gl.with_current(tid, |c| c.pop_matrix())
         })
     }
 
     /// `glRotatef`.
     pub fn rotatef(&self, tid: SimTid, deg: f32, x: f32, y: f32, z: f32) -> Result<()> {
-        self.direct(tid, "glRotatef", |gl| {
+        self.direct(tid, fn_id!("glRotatef"), |gl| {
             gl.with_current(tid, |c| c.rotate(deg, x, y, z))
         })
     }
 
     /// `glTranslatef`.
     pub fn translatef(&self, tid: SimTid, x: f32, y: f32, z: f32) -> Result<()> {
-        self.direct(tid, "glTranslatef", |gl| {
+        self.direct(tid, fn_id!("glTranslatef"), |gl| {
             gl.with_current(tid, |c| c.translate(x, y, z))
         })
     }
 
     /// `glScalef`.
     pub fn scalef(&self, tid: SimTid, x: f32, y: f32, z: f32) -> Result<()> {
-        self.direct(tid, "glScalef", |gl| {
+        self.direct(tid, fn_id!("glScalef"), |gl| {
             gl.with_current(tid, |c| c.scale(x, y, z))
         })
     }
@@ -270,7 +291,7 @@ impl GlesBridge {
     /// `glOrthof`.
     #[allow(clippy::too_many_arguments)]
     pub fn orthof(&self, tid: SimTid, l: f32, r: f32, b: f32, t: f32, n: f32, f: f32) -> Result<()> {
-        self.direct(tid, "glOrthof", |gl| {
+        self.direct(tid, fn_id!("glOrthof"), |gl| {
             gl.with_current(tid, |c| c.ortho(l, r, b, t, n, f))
         })
     }
@@ -287,77 +308,77 @@ impl GlesBridge {
         n: f32,
         f: f32,
     ) -> Result<()> {
-        self.direct(tid, "glFrustumf", |gl| {
+        self.direct(tid, fn_id!("glFrustumf"), |gl| {
             gl.with_current(tid, |c| c.frustum(l, r, b, t, n, f))
         })
     }
 
     /// `glColor4f`.
     pub fn color4f(&self, tid: SimTid, r: f32, g: f32, b: f32, a: f32) -> Result<()> {
-        self.direct(tid, "glColor4f", |gl| {
+        self.direct(tid, fn_id!("glColor4f"), |gl| {
             gl.with_current(tid, |c| c.color4f(r, g, b, a))
         })
     }
 
     /// `glEnableClientState`.
     pub fn enable_client_state(&self, tid: SimTid, state: ClientState) -> Result<()> {
-        self.direct(tid, "glEnableClientState", |gl| {
+        self.direct(tid, fn_id!("glEnableClientState"), |gl| {
             gl.with_current(tid, |c| c.set_client_state(state, true))
         })
     }
 
     /// `glDisableClientState`.
     pub fn disable_client_state(&self, tid: SimTid, state: ClientState) -> Result<()> {
-        self.direct(tid, "glDisableClientState", |gl| {
+        self.direct(tid, fn_id!("glDisableClientState"), |gl| {
             gl.with_current(tid, |c| c.set_client_state(state, false))
         })
     }
 
     /// `glVertexPointer`.
     pub fn vertex_pointer(&self, tid: SimTid, size: usize, data: &[f32]) -> Result<()> {
-        self.direct(tid, "glVertexPointer", |gl| {
+        self.direct(tid, fn_id!("glVertexPointer"), |gl| {
             gl.with_current(tid, |c| c.client_pointer(ClientState::VertexArray, size, data))
         })
     }
 
     /// `glColorPointer`.
     pub fn color_pointer(&self, tid: SimTid, size: usize, data: &[f32]) -> Result<()> {
-        self.direct(tid, "glColorPointer", |gl| {
+        self.direct(tid, fn_id!("glColorPointer"), |gl| {
             gl.with_current(tid, |c| c.client_pointer(ClientState::ColorArray, size, data))
         })
     }
 
     /// `glTexCoordPointer`.
     pub fn tex_coord_pointer(&self, tid: SimTid, size: usize, data: &[f32]) -> Result<()> {
-        self.direct(tid, "glTexCoordPointer", |gl| {
+        self.direct(tid, fn_id!("glTexCoordPointer"), |gl| {
             gl.with_current(tid, |c| c.client_pointer(ClientState::TexCoordArray, size, data))
         })
     }
 
     /// `glDrawArrays`. Returns fragments shaded.
     pub fn draw_arrays(&self, tid: SimTid, mode: Primitive, first: usize, count: usize) -> Result<u64> {
-        self.direct(tid, "glDrawArrays", |gl| {
+        self.direct(tid, fn_id!("glDrawArrays"), |gl| {
             gl.with_current(tid, |c| c.draw_arrays(mode, first, count))
         })
     }
 
     /// `glDrawElements`. Returns fragments shaded.
     pub fn draw_elements(&self, tid: SimTid, mode: Primitive, indices: &[u32]) -> Result<u64> {
-        self.direct(tid, "glDrawElements", |gl| {
+        self.direct(tid, fn_id!("glDrawElements"), |gl| {
             gl.with_current(tid, |c| c.draw_elements(mode, indices))
         })
     }
 
     /// `glGenTextures`.
     pub fn gen_textures(&self, tid: SimTid, count: usize) -> Result<Vec<u32>> {
-        self.direct(tid, "glGenTextures", |gl| {
+        self.direct(tid, fn_id!("glGenTextures"), |gl| {
             gl.with_current(tid, |c| c.gen_textures(count))
         })
     }
 
     /// `glBindTexture`.
     pub fn bind_texture(&self, tid: SimTid, name: u32) -> Result<()> {
-        self.direct(tid, "glBindTexture", |gl| gl.bind_texture(tid, name))
+        self.direct(tid, fn_id!("glBindTexture"), |gl| gl.bind_texture(tid, name))
     }
 
     /// `glDeleteTextures` — interposed so IOSurface associations are
@@ -366,38 +387,38 @@ impl GlesBridge {
         if let Some(hook) = self.on_delete_textures.lock().as_ref() {
             hook(names);
         }
-        self.direct(tid, "glDeleteTextures", |gl| gl.delete_textures(tid, names))
+        self.direct(tid, fn_id!("glDeleteTextures"), |gl| gl.delete_textures(tid, names))
     }
 
     /// `glGenFramebuffers`.
     pub fn gen_framebuffers(&self, tid: SimTid, count: usize) -> Result<Vec<u32>> {
-        self.direct(tid, "glGenFramebuffers", |gl| {
+        self.direct(tid, fn_id!("glGenFramebuffers"), |gl| {
             gl.with_current(tid, |c| c.gen_framebuffers(count))
         })
     }
 
     /// `glBindFramebuffer`.
     pub fn bind_framebuffer(&self, tid: SimTid, name: u32) -> Result<()> {
-        self.direct(tid, "glBindFramebuffer", |gl| gl.bind_framebuffer(tid, name))
+        self.direct(tid, fn_id!("glBindFramebuffer"), |gl| gl.bind_framebuffer(tid, name))
     }
 
     /// `glFramebufferTexture2D`.
     pub fn framebuffer_texture(&self, tid: SimTid, texture: u32) -> Result<()> {
-        self.direct(tid, "glFramebufferTexture2D", |gl| {
+        self.direct(tid, fn_id!("glFramebufferTexture2D"), |gl| {
             gl.with_current(tid, |c| c.framebuffer_texture(texture))
         })
     }
 
     /// `glFramebufferRenderbuffer`.
     pub fn framebuffer_renderbuffer(&self, tid: SimTid, rb: u32) -> Result<()> {
-        self.direct(tid, "glFramebufferRenderbuffer", |gl| {
+        self.direct(tid, fn_id!("glFramebufferRenderbuffer"), |gl| {
             gl.with_current(tid, |c| c.framebuffer_renderbuffer(rb))
         })
     }
 
     /// `glCheckFramebufferStatus`.
     pub fn check_framebuffer_status(&self, tid: SimTid) -> Result<FramebufferStatus> {
-        self.direct(tid, "glCheckFramebufferStatus", |gl| {
+        self.direct(tid, fn_id!("glCheckFramebufferStatus"), |gl| {
             gl.with_current(tid, |c| Some(c.check_framebuffer_status()))
         })
         .map(|s| s.unwrap_or(FramebufferStatus::Unsupported))
@@ -405,206 +426,206 @@ impl GlesBridge {
 
     /// `glGenRenderbuffers`.
     pub fn gen_renderbuffers(&self, tid: SimTid, count: usize) -> Result<Vec<u32>> {
-        self.direct(tid, "glGenRenderbuffers", |gl| {
+        self.direct(tid, fn_id!("glGenRenderbuffers"), |gl| {
             gl.with_current(tid, |c| c.gen_renderbuffers(count))
         })
     }
 
     /// `glBindRenderbuffer`.
     pub fn bind_renderbuffer(&self, tid: SimTid, name: u32) -> Result<()> {
-        self.direct(tid, "glBindRenderbuffer", |gl| {
+        self.direct(tid, fn_id!("glBindRenderbuffer"), |gl| {
             gl.with_current(tid, |c| c.bind_renderbuffer(name))
         })
     }
 
     /// `glRenderbufferStorage`.
     pub fn renderbuffer_storage(&self, tid: SimTid, w: u32, h: u32, format: TexFormat) -> Result<()> {
-        self.direct(tid, "glRenderbufferStorage", |gl| {
+        self.direct(tid, fn_id!("glRenderbufferStorage"), |gl| {
             gl.with_current(tid, |c| c.renderbuffer_storage(w, h, format))
         })
     }
 
     /// `glCreateShader`.
     pub fn create_shader(&self, tid: SimTid) -> Result<u32> {
-        self.direct(tid, "glCreateShader", |gl| {
+        self.direct(tid, fn_id!("glCreateShader"), |gl| {
             gl.with_current(tid, |c| c.create_shader())
         })
     }
 
     /// `glShaderSource`.
     pub fn shader_source(&self, tid: SimTid, shader: u32, src: &str) -> Result<()> {
-        self.direct(tid, "glShaderSource", |gl| {
+        self.direct(tid, fn_id!("glShaderSource"), |gl| {
             gl.with_current(tid, |c| c.shader_source(shader, src))
         })
     }
 
     /// `glCompileShader`.
     pub fn compile_shader(&self, tid: SimTid, shader: u32) -> Result<()> {
-        self.direct(tid, "glCompileShader", |gl| {
+        self.direct(tid, fn_id!("glCompileShader"), |gl| {
             gl.with_current(tid, |c| c.compile_shader(shader))
         })
     }
 
     /// `glCreateProgram`.
     pub fn create_program(&self, tid: SimTid) -> Result<u32> {
-        self.direct(tid, "glCreateProgram", |gl| {
+        self.direct(tid, fn_id!("glCreateProgram"), |gl| {
             gl.with_current(tid, |c| c.create_program())
         })
     }
 
     /// `glAttachShader`.
     pub fn attach_shader(&self, tid: SimTid, program: u32, shader: u32) -> Result<()> {
-        self.direct(tid, "glAttachShader", |gl| {
+        self.direct(tid, fn_id!("glAttachShader"), |gl| {
             gl.with_current(tid, |c| c.attach_shader(program, shader))
         })
     }
 
     /// `glLinkProgram`.
     pub fn link_program(&self, tid: SimTid, program: u32) -> Result<()> {
-        self.direct(tid, "glLinkProgram", |gl| {
+        self.direct(tid, fn_id!("glLinkProgram"), |gl| {
             gl.with_current(tid, |c| c.link_program(program))
         })
     }
 
     /// `glGetProgramiv(GL_LINK_STATUS)`.
     pub fn program_linked(&self, tid: SimTid, program: u32) -> Result<bool> {
-        self.direct(tid, "glGetProgramiv", |gl| {
+        self.direct(tid, fn_id!("glGetProgramiv"), |gl| {
             gl.with_current(tid, |c| c.program_linked(program))
         })
     }
 
     /// `glUseProgram`.
     pub fn use_program(&self, tid: SimTid, program: u32) -> Result<()> {
-        self.direct(tid, "glUseProgram", |gl| {
+        self.direct(tid, fn_id!("glUseProgram"), |gl| {
             gl.with_current(tid, |c| c.use_program(program))
         })
     }
 
     /// `glGetUniformLocation`.
     pub fn uniform_location(&self, tid: SimTid, program: u32, name: &str) -> Result<i32> {
-        self.direct(tid, "glGetUniformLocation", |gl| {
+        self.direct(tid, fn_id!("glGetUniformLocation"), |gl| {
             gl.with_current(tid, |c| c.uniform_location(program, name))
         })
     }
 
     /// `glUniform4f`.
     pub fn uniform4f(&self, tid: SimTid, loc: i32, x: f32, y: f32, z: f32, w: f32) -> Result<()> {
-        self.direct(tid, "glUniform4f", |gl| {
+        self.direct(tid, fn_id!("glUniform4f"), |gl| {
             gl.with_current(tid, |c| c.uniform4f(loc, x, y, z, w))
         })
     }
 
     /// `glUniformMatrix4fv`.
     pub fn uniform_matrix4(&self, tid: SimTid, loc: i32, m: Mat4) -> Result<()> {
-        self.direct(tid, "glUniformMatrix4fv", |gl| {
+        self.direct(tid, fn_id!("glUniformMatrix4fv"), |gl| {
             gl.with_current(tid, |c| c.uniform_matrix4(loc, m))
         })
     }
 
     /// `glVertexAttribPointer`.
     pub fn vertex_attrib_pointer(&self, tid: SimTid, index: u32, size: usize, data: &[f32]) -> Result<()> {
-        self.direct(tid, "glVertexAttribPointer", |gl| {
+        self.direct(tid, fn_id!("glVertexAttribPointer"), |gl| {
             gl.with_current(tid, |c| c.vertex_attrib_pointer(index, size, data))
         })
     }
 
     /// `glEnableVertexAttribArray`.
     pub fn enable_vertex_attrib_array(&self, tid: SimTid, index: u32) -> Result<()> {
-        self.direct(tid, "glEnableVertexAttribArray", |gl| {
+        self.direct(tid, fn_id!("glEnableVertexAttribArray"), |gl| {
             gl.with_current(tid, |c| c.set_vertex_attrib_enabled(index, true))
         })
     }
 
     /// `glLineWidth`.
     pub fn line_width(&self, tid: SimTid, width: f32) -> Result<()> {
-        self.direct(tid, "glLineWidth", |gl| {
+        self.direct(tid, fn_id!("glLineWidth"), |gl| {
             gl.with_current(tid, |c| c.set_line_width(width))
         })
     }
 
     /// `glPointSize`.
     pub fn point_size(&self, tid: SimTid, size: f32) -> Result<()> {
-        self.direct(tid, "glPointSize", |gl| {
+        self.direct(tid, fn_id!("glPointSize"), |gl| {
             gl.with_current(tid, |c| c.set_point_size(size))
         })
     }
 
     /// `glIsTexture`.
     pub fn is_texture(&self, tid: SimTid, name: u32) -> Result<bool> {
-        self.direct(tid, "glIsTexture", |gl| {
+        self.direct(tid, fn_id!("glIsTexture"), |gl| {
             gl.with_current(tid, |c| c.is_texture(name))
         })
     }
 
     /// `glGenBuffers`.
     pub fn gen_buffers(&self, tid: SimTid, count: usize) -> Result<Vec<u32>> {
-        self.direct(tid, "glGenBuffers", |gl| {
+        self.direct(tid, fn_id!("glGenBuffers"), |gl| {
             gl.with_current(tid, |c| c.gen_buffers(count))
         })
     }
 
     /// `glBufferData`.
     pub fn buffer_data(&self, tid: SimTid, buffer: u32, data: &[u8]) -> Result<()> {
-        self.direct(tid, "glBufferData", |gl| {
+        self.direct(tid, fn_id!("glBufferData"), |gl| {
             gl.with_current(tid, |c| c.buffer_data(buffer, data))
         })
     }
 
     /// `glDeleteBuffers`.
     pub fn delete_buffers(&self, tid: SimTid, names: &[u32]) -> Result<()> {
-        self.direct(tid, "glDeleteBuffers", |gl| {
+        self.direct(tid, fn_id!("glDeleteBuffers"), |gl| {
             gl.with_current(tid, |c| c.delete_buffers(names))
         })
     }
 
     /// `glIsBuffer`.
     pub fn is_buffer(&self, tid: SimTid, name: u32) -> Result<bool> {
-        self.direct(tid, "glIsBuffer", |gl| {
+        self.direct(tid, fn_id!("glIsBuffer"), |gl| {
             gl.with_current(tid, |c| c.is_buffer(name))
         })
     }
 
     /// `glDisableVertexAttribArray`.
     pub fn disable_vertex_attrib_array(&self, tid: SimTid, index: u32) -> Result<()> {
-        self.direct(tid, "glDisableVertexAttribArray", |gl| {
+        self.direct(tid, fn_id!("glDisableVertexAttribArray"), |gl| {
             gl.with_current(tid, |c| c.set_vertex_attrib_enabled(index, false))
         })
     }
 
     /// `glLoadMatrixf`.
     pub fn load_matrix(&self, tid: SimTid, m: Mat4) -> Result<()> {
-        self.direct(tid, "glLoadMatrixf", |gl| {
+        self.direct(tid, fn_id!("glLoadMatrixf"), |gl| {
             gl.with_current(tid, |c| c.load_matrix(m))
         })
     }
 
     /// `glMultMatrixf`.
     pub fn mult_matrix(&self, tid: SimTid, m: Mat4) -> Result<()> {
-        self.direct(tid, "glMultMatrixf", |gl| {
+        self.direct(tid, fn_id!("glMultMatrixf"), |gl| {
             gl.with_current(tid, |c| c.mult_matrix(m))
         })
     }
 
     /// `glIsFenceAPPLE` (indirect, like the rest of `APPLE_fence`).
     pub fn is_fence_apple(&self, tid: SimTid, fence: u32) -> Result<bool> {
-        self.indirect(tid, "glIsFenceAPPLE", "glIsFenceNV", |gl| {
+        self.indirect(tid, fn_id!("glIsFenceAPPLE"), "glIsFenceNV", |gl| {
             gl.with_current(tid, |c| c.is_fence(fence))
         })
     }
 
     /// `glFlush`.
     pub fn flush(&self, tid: SimTid) -> Result<()> {
-        self.direct(tid, "glFlush", |gl| gl.flush(tid))
+        self.direct(tid, fn_id!("glFlush"), |gl| gl.flush(tid))
     }
 
     /// `glFinish`.
     pub fn finish(&self, tid: SimTid) -> Result<()> {
-        self.direct(tid, "glFinish", |gl| gl.finish(tid))
+        self.direct(tid, fn_id!("glFinish"), |gl| gl.finish(tid))
     }
 
     /// `glGetError`.
     pub fn get_error(&self, tid: SimTid) -> Result<cycada_gles::GlError> {
-        self.direct(tid, "glGetError", |gl| {
+        self.direct(tid, fn_id!("glGetError"), |gl| {
             gl.with_current(tid, |c| c.get_error())
         })
     }
@@ -617,35 +638,35 @@ impl GlesBridge {
     /// re-arranging within each APPLE_fence API before calling into a
     /// corresponding Android GLES NV_fence API".
     pub fn gen_fences_apple(&self, tid: SimTid, count: usize) -> Result<Vec<u32>> {
-        self.indirect(tid, "glGenFencesAPPLE", "glGenFencesNV", |gl| {
+        self.indirect(tid, fn_id!("glGenFencesAPPLE"), "glGenFencesNV", |gl| {
             gl.gen_fences_nv(tid, count)
         })
     }
 
     /// `glSetFenceAPPLE`.
     pub fn set_fence_apple(&self, tid: SimTid, fence: u32) -> Result<()> {
-        self.indirect(tid, "glSetFenceAPPLE", "glSetFenceNV", |gl| {
+        self.indirect(tid, fn_id!("glSetFenceAPPLE"), "glSetFenceNV", |gl| {
             gl.set_fence_nv(tid, fence)
         })
     }
 
     /// `glTestFenceAPPLE`.
     pub fn test_fence_apple(&self, tid: SimTid, fence: u32) -> Result<bool> {
-        self.indirect(tid, "glTestFenceAPPLE", "glTestFenceNV", |gl| {
+        self.indirect(tid, fn_id!("glTestFenceAPPLE"), "glTestFenceNV", |gl| {
             gl.test_fence_nv(tid, fence)
         })
     }
 
     /// `glFinishFenceAPPLE`.
     pub fn finish_fence_apple(&self, tid: SimTid, fence: u32) -> Result<()> {
-        self.indirect(tid, "glFinishFenceAPPLE", "glFinishFenceNV", |gl| {
+        self.indirect(tid, fn_id!("glFinishFenceAPPLE"), "glFinishFenceNV", |gl| {
             gl.finish_fence_nv(tid, fence)
         })
     }
 
     /// `glDeleteFencesAPPLE`.
     pub fn delete_fences_apple(&self, tid: SimTid, fences: &[u32]) -> Result<()> {
-        self.indirect(tid, "glDeleteFencesAPPLE", "glDeleteFencesNV", |gl| {
+        self.indirect(tid, fn_id!("glDeleteFencesAPPLE"), "glDeleteFencesNV", |gl| {
             gl.delete_fences_nv(tid, fences)
         })
     }
@@ -660,9 +681,9 @@ impl GlesBridge {
         if name == StringName::AppleExtensions {
             // "returns a custom string indicating that no Apple-proprietary
             // extensions are available."
-            return Ok(self.foreign_only(tid, "glGetString", || Some(String::new())));
+            return Ok(self.foreign_only(tid, fn_id!("glGetString"), || Some(String::new())));
         }
-        self.data_dependent(tid, "glGetString", |gl| gl.get_string(tid, name))
+        self.data_dependent(tid, fn_id!("glGetString"), |gl| gl.get_string(tid, name))
     }
 
     /// `glPixelStorei`: the two extra `APPLE_row_bytes` parameters are kept
@@ -671,18 +692,18 @@ impl GlesBridge {
     pub fn pixel_storei(&self, tid: SimTid, param: PixelStoreParam, value: usize) -> Result<()> {
         match param {
             PixelStoreParam::UnpackRowBytesApple => {
-                self.foreign_only(tid, "glPixelStorei", || {
-                    self.row_bytes.lock().entry(tid.as_u64()).or_default().unpack = value;
+                self.foreign_only(tid, fn_id!("glPixelStorei"), || {
+                    self.update_row_bytes(tid, |rb| rb.unpack = value);
                 });
                 Ok(())
             }
             PixelStoreParam::PackRowBytesApple => {
-                self.foreign_only(tid, "glPixelStorei", || {
-                    self.row_bytes.lock().entry(tid.as_u64()).or_default().pack = value;
+                self.foreign_only(tid, fn_id!("glPixelStorei"), || {
+                    self.update_row_bytes(tid, |rb| rb.pack = value);
                 });
                 Ok(())
             }
-            _ => self.data_dependent(tid, "glPixelStorei", |gl| {
+            _ => self.data_dependent(tid, fn_id!("glPixelStorei"), |gl| {
                 gl.with_current(tid, |c| c.pixel_store(param, value))
             }),
         }
@@ -714,7 +735,7 @@ impl GlesBridge {
         } else {
             format
         };
-        self.data_dependent(tid, "glTexImage2D", |gl| {
+        self.data_dependent(tid, fn_id!("glTexImage2D"), |gl| {
             gl.with_current(tid, |c| {
                 c.tex_image_2d(width, height, android_format, prepared.as_deref())
             })
@@ -745,7 +766,7 @@ impl GlesBridge {
         } else {
             format
         };
-        self.data_dependent(tid, "glTexSubImage2D", |gl| {
+        self.data_dependent(tid, fn_id!("glTexSubImage2D"), |gl| {
             gl.with_current(tid, |c| {
                 c.tex_sub_image_2d(x, y, width, height, android_format, &prepared)
             })
@@ -769,7 +790,7 @@ impl GlesBridge {
         } else {
             format
         };
-        let mut tight = self.data_dependent(tid, "glReadPixels", |gl| {
+        let mut tight = self.data_dependent(tid, fn_id!("glReadPixels"), |gl| {
             gl.with_current(tid, |c| {
                 let mut out = Vec::new();
                 c.read_pixels(x, y, width, height, android_format, &mut out);
@@ -792,14 +813,14 @@ impl GlesBridge {
     /// Introspection: the usage pattern recorded for a bridged function
     /// that has been called at least once.
     pub fn called_pattern(&self, name: &str) -> Option<DiplomatPattern> {
-        self.entries.lock().get(name).map(|e| e.pattern())
+        self.entries.by_name(name).map(|e| e.pattern())
     }
 }
 
 impl fmt::Debug for GlesBridge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("GlesBridge")
-            .field("entries", &self.entries.lock().len())
+            .field("entries", &self.entries.len())
             .finish()
     }
 }

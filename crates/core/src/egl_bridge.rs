@@ -11,17 +11,17 @@
 //! against Android graphics libraries" and is what gets replicated (with
 //! the vendor EGL/GLES tree) for each new EAGLContext.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
-use cycada_diplomat::{DiplomatEngine, DiplomatEntry, DiplomatPattern, HookKind};
+use cycada_diplomat::{
+    DiplomatEngine, DiplomatEntry, DiplomatPattern, DiplomatTable, FnId, HookKind,
+};
 use cycada_egl::{AndroidEgl, EglContextId, EglSurfaceId, McConnectionId};
 use cycada_gpu::Image;
 use cycada_kernel::SimTid;
 use cycada_linker::{DynamicLinker, LibraryImage};
+use cycada_sim::fn_id;
 
 use crate::error::CycadaError;
 use crate::Result;
@@ -69,7 +69,7 @@ pub fn register_bridge_libraries(linker: &Arc<DynamicLinker>) {
 pub struct EglBridge {
     engine: Arc<DiplomatEngine>,
     egl: Arc<AndroidEgl>,
-    entries: Mutex<HashMap<&'static str, Arc<DiplomatEntry>>>,
+    entries: DiplomatTable,
 }
 
 impl EglBridge {
@@ -78,7 +78,7 @@ impl EglBridge {
         EglBridge {
             engine,
             egl,
-            entries: Mutex::new(HashMap::new()),
+            entries: DiplomatTable::new(),
         }
     }
 
@@ -87,27 +87,21 @@ impl EglBridge {
         &self.egl
     }
 
-    fn entry(&self, name: &'static str) -> Arc<DiplomatEntry> {
-        self.entries
-            .lock()
-            .entry(name)
-            .or_insert_with(|| {
-                Arc::new(DiplomatEntry::new(
-                    name,
-                    LIBEGLBRIDGE,
-                    name,
-                    DiplomatPattern::Multi,
-                    HookKind::Gles,
-                ))
-            })
-            .clone()
+    fn entry(&self, id: FnId) -> &Arc<DiplomatEntry> {
+        self.entries.get_or_register(id, || {
+            DiplomatEntry::with_id(
+                id,
+                LIBEGLBRIDGE,
+                id.name(),
+                DiplomatPattern::Multi,
+                HookKind::Gles,
+            )
+        })
     }
 
-    fn call<R>(&self, tid: SimTid, name: &'static str, f: impl FnOnce() -> Result<R>) -> Result<R> {
-        let entry = self.entry(name);
-        self.engine
-            .call(tid, &entry, f)
-            .map_err(CycadaError::from)?
+    fn call<R>(&self, tid: SimTid, id: FnId, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        let entry = self.entry(id);
+        self.engine.call(tid, entry, f).map_err(CycadaError::from)?
     }
 
     /// Creates a fresh EGL-to-GLES connection for a new EAGLContext by
@@ -119,7 +113,7 @@ impl EglBridge {
     /// Returns [`CycadaError::Egl`] if the replica cannot be built.
     pub fn reinitialize(&self, tid: SimTid) -> Result<McConnectionId> {
         let egl = self.egl.clone();
-        self.call(tid, "aegl_bridge_reinitialize", || {
+        self.call(tid, fn_id!("aegl_bridge_reinitialize"), || {
             egl.initialize(tid)?;
             Ok(egl.egl_reinitialize_mc(tid, LIBUI_WRAPPER)?)
         })
@@ -141,7 +135,7 @@ impl EglBridge {
         height: u32,
     ) -> Result<(McConnectionId, EglContextId, EglSurfaceId)> {
         let egl = self.egl.clone();
-        self.call(tid, "aegl_bridge_reinitialize", || {
+        self.call(tid, fn_id!("aegl_bridge_reinitialize"), || {
             egl.initialize(tid)?;
             let conn = egl.egl_reinitialize_mc(tid, LIBUI_WRAPPER)?;
             let ctx = egl.create_context(tid, version)?;
@@ -164,7 +158,7 @@ impl EglBridge {
         surface: Option<EglSurfaceId>,
     ) -> Result<()> {
         let egl = self.egl.clone();
-        self.call(tid, "aegl_bridge_make_current", || {
+        self.call(tid, fn_id!("aegl_bridge_make_current"), || {
             egl.egl_switch_mc(tid, ctx)?;
             egl.make_current_unchecked(tid, ctx, surface)?;
             Ok(())
@@ -180,7 +174,7 @@ impl EglBridge {
     /// Returns [`CycadaError::Egl`] if the thread has no current context.
     pub fn draw_fbo_tex(&self, tid: SimTid, src: &Image) -> Result<u64> {
         let egl = self.egl.clone();
-        self.call(tid, "aegl_bridge_draw_fbo_tex", || {
+        self.call(tid, fn_id!("aegl_bridge_draw_fbo_tex"), || {
             let gles = egl.gles_for_thread(tid)?;
             Ok(gles.with_current(tid, |c| {
                 let saved = c.bound_framebuffer();
@@ -200,7 +194,7 @@ impl EglBridge {
     /// Returns [`CycadaError::Egl`] if the thread has no current context.
     pub fn copy_tex_buf(&self, tid: SimTid, src: &Image, dst: &Image) -> Result<()> {
         let egl = self.egl.clone();
-        self.call(tid, "aegl_bridge_copy_tex_buf", || {
+        self.call(tid, fn_id!("aegl_bridge_copy_tex_buf"), || {
             let gles = egl.gles_for_thread(tid)?;
             gles.device().blit(
                 src,
@@ -221,7 +215,7 @@ impl EglBridge {
     /// Returns [`CycadaError::Egl`] on kernel TLS failures.
     pub fn get_tls(&self, tid: SimTid) -> Result<Vec<Option<u64>>> {
         let egl = self.egl.clone();
-        self.call(tid, "aegl_bridge_set_tls", || Ok(egl.egl_get_tls_mc(tid)?))
+        self.call(tid, fn_id!("aegl_bridge_set_tls"), || Ok(egl.egl_get_tls_mc(tid)?))
     }
 
     /// Writes `EGL_multi_context` TLS values into the calling thread.
@@ -231,7 +225,7 @@ impl EglBridge {
     /// Returns [`CycadaError::Egl`] on kernel TLS failures.
     pub fn set_tls(&self, tid: SimTid, values: &[Option<u64>]) -> Result<()> {
         let egl = self.egl.clone();
-        self.call(tid, "aegl_bridge_set_tls", || {
+        self.call(tid, fn_id!("aegl_bridge_set_tls"), || {
             Ok(egl.egl_set_tls_mc(tid, values)?)
         })
     }
@@ -243,14 +237,14 @@ impl EglBridge {
     /// Returns [`CycadaError::Egl`] for bad surfaces.
     pub fn swap_buffers(&self, tid: SimTid, surface: EglSurfaceId) -> Result<()> {
         let egl = self.egl.clone();
-        self.call(tid, "eglSwapBuffers", || Ok(egl.swap_buffers(tid, surface)?))
+        self.call(tid, fn_id!("eglSwapBuffers"), || Ok(egl.swap_buffers(tid, surface)?))
     }
 }
 
 impl fmt::Debug for EglBridge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EglBridge")
-            .field("entries", &self.entries.lock().len())
+            .field("entries", &self.entries.len())
             .finish()
     }
 }

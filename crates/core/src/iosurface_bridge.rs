@@ -16,13 +16,16 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use cycada_diplomat::{DiplomatEngine, DiplomatEntry, DiplomatPattern, HookKind};
+use cycada_diplomat::{
+    DiplomatEngine, DiplomatEntry, DiplomatPattern, DiplomatTable, FnId, HookKind,
+};
 use cycada_egl::{AndroidEgl, EglImageId};
 use cycada_gles::TexFormat;
 use cycada_gpu::PixelFormat;
 use cycada_gralloc::{GraphicBuffer, GraphicBufferAllocator};
 use cycada_iosurface::{IOSurface, IOSurfaceApi, SurfaceProps};
 use cycada_kernel::SimTid;
+use cycada_sim::fn_id;
 
 use crate::egl_bridge::{LIBEGLBRIDGE, LIBUI_WRAPPER};
 use crate::error::CycadaError;
@@ -43,7 +46,7 @@ pub struct IoSurfaceBridge {
     iosurface: Arc<IOSurfaceApi>,
     allocator: GraphicBufferAllocator,
     table: Mutex<HashMap<u64, CycadaSurface>>,
-    entries: Mutex<HashMap<&'static str, Arc<DiplomatEntry>>>,
+    entries: DiplomatTable,
 }
 
 impl IoSurfaceBridge {
@@ -60,24 +63,20 @@ impl IoSurfaceBridge {
             iosurface,
             allocator,
             table: Mutex::new(HashMap::new()),
-            entries: Mutex::new(HashMap::new()),
+            entries: DiplomatTable::new(),
         }
     }
 
     fn entry(
         &self,
-        name: &'static str,
+        id: FnId,
         library: &'static str,
         symbol: &'static str,
         pattern: DiplomatPattern,
-    ) -> Arc<DiplomatEntry> {
-        self.entries
-            .lock()
-            .entry(name)
-            .or_insert_with(|| {
-                Arc::new(DiplomatEntry::new(name, library, symbol, pattern, HookKind::Gles))
-            })
-            .clone()
+    ) -> &Arc<DiplomatEntry> {
+        self.entries.get_or_register(id, || {
+            DiplomatEntry::with_id(id, library, symbol, pattern, HookKind::Gles)
+        })
     }
 
     /// `IOSurfaceCreate`, interposed: an **indirect diplomat** allocates an
@@ -90,7 +89,7 @@ impl IoSurfaceBridge {
     /// allocation failure.
     pub fn create(&self, tid: SimTid, props: SurfaceProps) -> Result<IOSurface> {
         let entry = self.entry(
-            "IOSurfaceCreate",
+            fn_id!("IOSurfaceCreate"),
             LIBUI_WRAPPER,
             "ui_wrap_alloc_buffer",
             DiplomatPattern::Indirect,
@@ -102,7 +101,7 @@ impl IoSurfaceBridge {
         let allocator = &self.allocator;
         let buffer = self
             .engine
-            .call(tid, &entry, || {
+            .call(tid, entry, || {
                 allocator.allocate(tid, padded_width.max(props.width), props.height, props.format)
             })
             .map_err(CycadaError::from)?
@@ -149,7 +148,7 @@ impl IoSurfaceBridge {
     /// [`CycadaError::Egl`] if the thread has no current context.
     pub fn tex_image_io_surface(&self, tid: SimTid, surface_id: u64, texture: u32) -> Result<()> {
         let entry = self.entry(
-            "glTexImageIOSurfaceAPPLE",
+            fn_id!("glTexImageIOSurfaceAPPLE"),
             LIBEGLBRIDGE,
             "glTexImageIOSurfaceAPPLE",
             DiplomatPattern::Multi,
@@ -158,7 +157,7 @@ impl IoSurfaceBridge {
         let buffer = self.buffer_for(surface_id)?;
         let image_id = self
             .engine
-            .call(tid, &entry, || -> Result<EglImageId> {
+            .call(tid, entry, || -> Result<EglImageId> {
                 let image_id = egl.create_image(&buffer);
                 let source = egl.image_source(image_id)?;
                 let gles = egl.gles_for_thread(tid)?;
@@ -192,7 +191,7 @@ impl IoSurfaceBridge {
         renderbuffer: u32,
     ) -> Result<()> {
         let entry = self.entry(
-            "glRenderbufferStorageIOSurfaceAPPLE",
+            fn_id!("glRenderbufferStorageIOSurfaceAPPLE"),
             LIBEGLBRIDGE,
             "glRenderbufferStorageIOSurfaceAPPLE",
             DiplomatPattern::Multi,
@@ -201,7 +200,7 @@ impl IoSurfaceBridge {
         let buffer = self.buffer_for(surface_id)?;
         let image_id = self
             .engine
-            .call(tid, &entry, || -> Result<EglImageId> {
+            .call(tid, entry, || -> Result<EglImageId> {
                 let image_id = egl.create_image(&buffer);
                 let source = egl.image_source(image_id)?;
                 let gles = egl.gles_for_thread(tid)?;
@@ -232,7 +231,7 @@ impl IoSurfaceBridge {
     /// (app violated IOSurface locking rules) or the lower layers fail.
     pub fn lock(&self, tid: SimTid, surface: &IOSurface) -> Result<()> {
         let entry = self.entry(
-            "IOSurfaceLock",
+            fn_id!("IOSurfaceLock"),
             LIBEGLBRIDGE,
             "IOSurfaceLock",
             DiplomatPattern::Multi,
@@ -246,7 +245,7 @@ impl IoSurfaceBridge {
             (record.buffer.clone(), record.texture, record.egl_image)
         };
         self.engine
-            .call(tid, &entry, || -> Result<()> {
+            .call(tid, entry, || -> Result<()> {
                 if let Some(tex) = texture {
                     // "The multi diplomat rebinds the GLES texture to a
                     // single-pixel buffer allocated by glTexImage2D" —
@@ -286,7 +285,7 @@ impl IoSurfaceBridge {
     /// Returns [`CycadaError::Gralloc`]/[`CycadaError::Egl`] on failure.
     pub fn unlock(&self, tid: SimTid, surface: &IOSurface) -> Result<()> {
         let entry = self.entry(
-            "IOSurfaceUnlock",
+            fn_id!("IOSurfaceUnlock"),
             LIBEGLBRIDGE,
             "IOSurfaceUnlock",
             DiplomatPattern::Multi,
@@ -301,7 +300,7 @@ impl IoSurfaceBridge {
         };
         let new_image = self
             .engine
-            .call(tid, &entry, || -> Result<Option<EglImageId>> {
+            .call(tid, entry, || -> Result<Option<EglImageId>> {
                 buffer.unlock_cpu()?;
                 if let Some(tex) = texture {
                     let image_id = egl.create_image(&buffer);
@@ -380,14 +379,14 @@ impl IoSurfaceBridge {
         format: PixelFormat,
     ) -> Result<GraphicBuffer> {
         let entry = self.entry(
-            "IOSurfaceCreate",
+            fn_id!("IOSurfaceCreate"),
             LIBUI_WRAPPER,
             "ui_wrap_alloc_buffer",
             DiplomatPattern::Indirect,
         );
         let allocator = &self.allocator;
         self.engine
-            .call(tid, &entry, || allocator.allocate(tid, width, height, format))
+            .call(tid, entry, || allocator.allocate(tid, width, height, format))
             .map_err(CycadaError::from)?
             .map_err(CycadaError::from)
     }

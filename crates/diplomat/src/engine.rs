@@ -6,7 +6,7 @@ use std::sync::{Arc, OnceLock};
 
 use cycada_kernel::{bsd_errno_from_linux, Kernel, SimTid};
 use cycada_linker::{DynamicLinker, SymbolAddr};
-use cycada_sim::{stats::FunctionStats, Nanos, Persona};
+use cycada_sim::{intern::FnId, stats::FunctionStats, Nanos, Persona};
 
 use crate::tls::GraphicsTls;
 use crate::Result;
@@ -84,7 +84,7 @@ pub enum HookKind {
 /// Holds the lazily resolved symbol "in a locally-scoped static variable
 /// for efficient reuse" (§3 step 1).
 pub struct DiplomatEntry {
-    name: String,
+    fn_id: FnId,
     domestic_library: String,
     domestic_symbol: String,
     pattern: DiplomatPattern,
@@ -95,15 +95,34 @@ pub struct DiplomatEntry {
 
 impl DiplomatEntry {
     /// Defines a diplomat named `name` targeting `symbol` in `library`.
+    /// Interns `name`, so the entry is addressable by [`FnId`] everywhere
+    /// downstream (dense dispatch tables, stats accounting).
     pub fn new(
-        name: impl Into<String>,
+        name: impl AsRef<str>,
+        library: impl Into<String>,
+        symbol: impl Into<String>,
+        pattern: DiplomatPattern,
+        hooks: HookKind,
+    ) -> Self {
+        Self::with_id(
+            FnId::intern(name.as_ref()),
+            library,
+            symbol,
+            pattern,
+            hooks,
+        )
+    }
+
+    /// Defines a diplomat for an already-interned function id.
+    pub fn with_id(
+        fn_id: FnId,
         library: impl Into<String>,
         symbol: impl Into<String>,
         pattern: DiplomatPattern,
         hooks: HookKind,
     ) -> Self {
         DiplomatEntry {
-            name: name.into(),
+            fn_id,
             domestic_library: library.into(),
             domestic_symbol: symbol.into(),
             pattern,
@@ -114,8 +133,13 @@ impl DiplomatEntry {
     }
 
     /// The diplomat's (foreign-visible) name.
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.fn_id.name()
+    }
+
+    /// The interned id of the diplomat's foreign-visible name.
+    pub fn fn_id(&self) -> FnId {
+        self.fn_id
     }
 
     /// The usage pattern classification.
@@ -142,7 +166,7 @@ impl DiplomatEntry {
 impl fmt::Debug for DiplomatEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DiplomatEntry")
-            .field("name", &self.name)
+            .field("name", &self.name())
             .field("pattern", &self.pattern)
             .field("hooks", &self.hooks)
             .field("calls", &self.call_count())
@@ -299,7 +323,7 @@ impl DiplomatEngine {
 
         // (11) Return value restored; control returns to foreign code.
         clock.charge_ns(RET_RESTORE_NS);
-        self.stats.record(entry.name(), span.elapsed_ns());
+        self.stats.record_id(entry.fn_id, span.elapsed_ns());
         Ok(result)
     }
 }

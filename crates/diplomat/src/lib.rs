@@ -27,12 +27,18 @@
 mod engine;
 mod error;
 mod impersonation;
+mod table;
 mod tls;
 
 pub use engine::{DiplomatEngine, DiplomatEntry, DiplomatPattern, HookKind};
 pub use error::DiplomatError;
 pub use impersonation::ImpersonationGuard;
+pub use table::DiplomatTable;
 pub use tls::GraphicsTls;
+
+// Re-exported so bridge crates can name ids without a direct cycada-sim
+// import (and so `cycada_sim::fn_id!` composes with diplomat tables).
+pub use cycada_sim::intern::FnId;
 
 /// Convenient result alias for diplomat operations.
 pub type Result<T> = std::result::Result<T, DiplomatError>;

@@ -1,0 +1,133 @@
+//! Dense, lock-free diplomat dispatch tables.
+//!
+//! The bridges (GLES, EGL, IOSurface) used to cache their registered
+//! diplomats in `Mutex<HashMap<&'static str, Arc<DiplomatEntry>>>`, paying
+//! a lock acquisition and a string hash on every bridged call. A
+//! [`DiplomatTable`] replaces that: entries are registered once under their
+//! interned [`FnId`] and steady-state dispatch is a dense-array index —
+//! two pointer loads, no lock, no hashing.
+//!
+//! # Examples
+//!
+//! ```
+//! use cycada_diplomat::{DiplomatEntry, DiplomatPattern, DiplomatTable, HookKind};
+//! use cycada_sim::fn_id;
+//!
+//! let table = DiplomatTable::new();
+//! let id = fn_id!("glFlush");
+//! let entry = table.get_or_register(id, || {
+//!     DiplomatEntry::with_id(
+//!         id,
+//!         "libGLESv2_tegra.so",
+//!         "glFlush",
+//!         DiplomatPattern::Direct,
+//!         HookKind::Gles,
+//!     )
+//! });
+//! assert_eq!(entry.name(), "glFlush");
+//! assert_eq!(table.len(), 1);
+//! assert!(table.by_name("glFlush").is_some());
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cycada_sim::intern::{FnId, FnTable};
+
+use crate::engine::DiplomatEntry;
+
+/// A dense map from [`FnId`] to a registered [`DiplomatEntry`].
+///
+/// Registration (first call per function) initializes the slot under the
+/// table's internal once-cell; every later dispatch is lock-free.
+#[derive(Default)]
+pub struct DiplomatTable {
+    entries: FnTable<Arc<DiplomatEntry>>,
+    len: AtomicUsize,
+}
+
+impl DiplomatTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the entry registered for `id`, if any. Lock-free.
+    pub fn get(&self, id: FnId) -> Option<&Arc<DiplomatEntry>> {
+        self.entries.get(id)
+    }
+
+    /// Returns the entry for `id`, registering `init`'s result on first
+    /// use. Concurrent registrations race benignly; one entry wins.
+    pub fn get_or_register(
+        &self,
+        id: FnId,
+        init: impl FnOnce() -> DiplomatEntry,
+    ) -> &Arc<DiplomatEntry> {
+        self.entries.get_or_init(id, || {
+            self.len.fetch_add(1, Ordering::Relaxed);
+            Arc::new(init())
+        })
+    }
+
+    /// Looks an entry up by name (snapshot/introspection path; takes the
+    /// intern table's read lock, so keep it off per-call dispatch).
+    pub fn by_name(&self, name: &str) -> Option<&Arc<DiplomatEntry>> {
+        self.get(FnId::lookup(name)?)
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether no entries have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for DiplomatTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiplomatTable")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DiplomatPattern, HookKind};
+
+    fn entry(id: FnId) -> DiplomatEntry {
+        DiplomatEntry::with_id(
+            id,
+            "libGLESv2_tegra.so",
+            "glFlush",
+            DiplomatPattern::Direct,
+            HookKind::None,
+        )
+    }
+
+    #[test]
+    fn registration_is_once_per_id() {
+        let table = DiplomatTable::new();
+        let id = FnId::intern("table_test_fn");
+        assert!(table.get(id).is_none());
+        let a = Arc::clone(table.get_or_register(id, || entry(id)));
+        let b = Arc::clone(table.get_or_register(id, || entry(id)));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn by_name_finds_registered_entries_only() {
+        let table = DiplomatTable::new();
+        let id = FnId::intern("table_test_named");
+        table.get_or_register(id, || entry(id));
+        assert!(table.by_name("table_test_named").is_some());
+        assert!(table.by_name("table_test_absent").is_none());
+    }
+}

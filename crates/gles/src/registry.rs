@@ -25,6 +25,8 @@
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
+use cycada_sim::intern::FnId;
+
 /// The GLES API version a context speaks (§2: versions "are not compatible
 /// with each other").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -467,6 +469,9 @@ pub enum EntryApi {
 pub struct EntryPoint {
     /// The exported symbol name.
     pub name: String,
+    /// The interned id of `name` (21 names appear under both the v1 and v2
+    /// APIs and share one id — dispatch and accounting are by name).
+    pub fn_id: FnId,
     /// The API surface it belongs to.
     pub api: EntryApi,
 }
@@ -551,10 +556,15 @@ impl GlesRegistry {
             });
         }
 
-        GlesRegistry {
+        let registry = GlesRegistry {
             std_functions,
             extensions,
-        }
+        };
+        // Intern the whole bridged surface now, in registration order:
+        // every one of the 344 iOS entry points gets a stable FnId the
+        // moment the registry is built, before any dispatch happens.
+        registry.ios_entry_points();
+        registry
     }
 
     /// All standard entry points (shared ones appear once).
@@ -606,12 +616,14 @@ impl GlesRegistry {
             .iter()
             .map(|f| EntryPoint {
                 name: f.name.to_owned(),
+                fn_id: FnId::intern(f.name),
                 api: EntryApi::Standard(f.availability),
             })
             .collect();
         for ext in self.platform_extensions(ApiFlavor::Ios) {
             out.extend(ext.functions.iter().map(|f| EntryPoint {
                 name: f.clone(),
+                fn_id: FnId::intern(f),
                 api: EntryApi::Extension(ext.name.clone()),
             }));
         }

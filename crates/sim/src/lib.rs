@@ -17,7 +17,8 @@
 //!   configurations the paper evaluates (stock Android, Cycada Android,
 //!   Cycada iOS, native iOS on the iPad mini).
 //! * [`stats::FunctionStats`] — per-function call-count and virtual-time
-//!   accounting used to regenerate Figures 7–10.
+//!   accounting used to regenerate Figures 7–10, recorded through the
+//!   interned function-id dispatch plane in [`intern`].
 //!
 //! # Examples
 //!
@@ -34,6 +35,7 @@
 
 mod buffer;
 mod clock;
+pub mod intern;
 mod profile;
 mod rng;
 pub mod stats;

@@ -13,8 +13,6 @@
 //! costs (diplomats, GPU work) are built from these constants plus simulated
 //! work, so the macro results *emerge* rather than being hard-coded.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Nanos;
 
 /// A thread execution mode: which kernel ABI personality and TLS area a
@@ -22,7 +20,7 @@ use crate::Nanos;
 ///
 /// In Cycada a thread has **two** personas — a foreign (iOS) one and a
 /// domestic (Android) one — and diplomats switch between them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Persona {
     /// The foreign persona: XNU/Darwin kernel ABI, iOS TLS layout.
     Ios,
@@ -61,7 +59,7 @@ impl std::fmt::Display for Persona {
 }
 
 /// The four system configurations evaluated in §9 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Platform {
     /// Unmodified Android on the Nexus 7.
     StockAndroid,
@@ -110,7 +108,7 @@ impl std::fmt::Display for Platform {
 }
 
 /// CPU class of the evaluation devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuClass {
     /// Nexus 7: quad Cortex-A9, pinned at 1.3 GHz for the experiments.
     Tegra3 ,
@@ -135,7 +133,7 @@ impl CpuClass {
 /// These model the throughput of the simulated GPU; macro-level costs such
 /// as "a full-screen blit costs ~2 ms" emerge from pixel counts times these
 /// constants, matching the magnitudes of Figures 9 and 10.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuCostModel {
     /// Cost to transform one vertex.
     pub per_vertex_ns: f64,
@@ -213,7 +211,7 @@ impl GpuCostModel {
 /// // Table 3: a Cycada iOS kernel trap costs 305 ns.
 /// assert_eq!(p.trap_ns(Persona::Ios), 305);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Which configuration this profile describes.
     pub platform: Platform,

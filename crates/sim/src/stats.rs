@@ -5,14 +5,32 @@
 //! average time per call. [`FunctionStats`] is the instrumentation that
 //! collects exactly those two quantities for every named function in the
 //! simulated graphics stack.
+//!
+//! # Sharded accumulator
+//!
+//! Recording sits on the per-call diplomat dispatch path, so it must not
+//! serialize the simulated stack. Storage is a set of cache-line-padded
+//! shards, each a dense table of atomic `(calls, ns)` slots keyed by
+//! [`FnId`]; every thread is assigned a shard round-robin and records with
+//! two relaxed `fetch_add`s plus two running-total bumps on its own shard.
+//! No locks, no hashing, no allocation in the steady state.
+//!
+//! Totals stay exact and deterministic: per-function sums are `u64`
+//! additions, which commute, so any interleaving of recording threads
+//! yields byte-identical snapshots — the property the figure regenerators
+//! rely on. Names are re-attached from the intern table only at snapshot
+//! time ([`FunctionStats::ranked_by_total`]).
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
+use crate::intern::{CachePadded, FnDense, FnId};
 use crate::Nanos;
+
+/// Number of shards; a small power of two well above typical simulated
+/// thread counts.
+const SHARDS: usize = 16;
 
 /// Accumulated measurements for one named function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +63,68 @@ pub struct FunctionShare {
     pub percent_of_total: f64,
 }
 
+/// One per-function counter slot. Zero-initialized; bumped with relaxed
+/// atomics from the recording thread's shard.
+#[derive(Debug, Default)]
+struct Slot {
+    calls: AtomicU64,
+    ns: AtomicU64,
+}
+
+/// One shard: a dense slot table plus running totals so `total_ns()` /
+/// `total_calls()` are O(shards) reads instead of a full-table scan.
+#[derive(Debug, Default)]
+struct Shard {
+    slots: FnDense<Slot>,
+    total_calls: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Storage {
+    shards: [CachePadded<Shard>; SHARDS],
+}
+
+impl Default for Storage {
+    fn default() -> Self {
+        Storage {
+            shards: std::array::from_fn(|_| CachePadded::new(Shard::default())),
+        }
+    }
+}
+
+impl Storage {
+    /// The calling thread's home shard index (round-robin at first use).
+    fn home_shard() -> usize {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static HOME: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        }
+        HOME.with(|h| *h)
+    }
+
+    fn add(&self, id: FnId, calls: u64, ns: Nanos) {
+        let shard = &self.shards[Self::home_shard()];
+        let slot = shard.slots.slot(id);
+        slot.calls.fetch_add(calls, Ordering::Relaxed);
+        slot.ns.fetch_add(ns, Ordering::Relaxed);
+        shard.total_calls.fetch_add(calls, Ordering::Relaxed);
+        shard.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Sums one function's record across all shards.
+    fn record_for(&self, id: FnId) -> FunctionRecord {
+        let mut rec = FunctionRecord::default();
+        for shard in &self.shards {
+            if let Some(slot) = shard.slots.peek(id) {
+                rec.calls += slot.calls.load(Ordering::Relaxed);
+                rec.total_ns += slot.ns.load(Ordering::Relaxed);
+            }
+        }
+        rec
+    }
+}
+
 /// Thread-safe registry of per-function call counts and virtual time.
 ///
 /// Cloning is cheap and shares the underlying storage, so one collector can
@@ -65,7 +145,7 @@ pub struct FunctionShare {
 /// ```
 #[derive(Clone, Default)]
 pub struct FunctionStats {
-    inner: Arc<Mutex<HashMap<String, FunctionRecord>>>,
+    inner: Arc<Storage>,
 }
 
 impl FunctionStats {
@@ -75,48 +155,86 @@ impl FunctionStats {
     }
 
     /// Records one call to `name` costing `ns` virtual nanoseconds.
+    ///
+    /// Interns `name` on every call; dispatch paths that already hold a
+    /// [`FnId`] (or can cache one with [`crate::fn_id!`]) should use
+    /// [`FunctionStats::record_id`] instead.
     pub fn record(&self, name: &str, ns: Nanos) {
-        let mut map = self.inner.lock();
-        let entry = map.entry(name.to_owned()).or_default();
-        entry.calls += 1;
-        entry.total_ns += ns;
+        self.record_id(FnId::intern(name), ns);
+    }
+
+    /// Records one call to the interned function `id` costing `ns` virtual
+    /// nanoseconds. Lock-free: two relaxed counter bumps on the calling
+    /// thread's shard plus its running totals.
+    pub fn record_id(&self, id: FnId, ns: Nanos) {
+        self.inner.add(id, 1, ns);
     }
 
     /// Returns the record for `name`, if it was ever called.
     pub fn get(&self, name: &str) -> Option<FunctionRecord> {
-        self.inner.lock().get(name).copied()
+        self.get_id(FnId::lookup(name)?)
     }
 
-    /// Total virtual time across all recorded functions.
+    /// Returns the record for the interned function `id`, if it was ever
+    /// called on this collector.
+    pub fn get_id(&self, id: FnId) -> Option<FunctionRecord> {
+        let record = self.inner.record_for(id);
+        if record.calls == 0 && record.total_ns == 0 {
+            None
+        } else {
+            Some(record)
+        }
+    }
+
+    /// Total virtual time across all recorded functions. O(shards): sums
+    /// the running per-shard totals, no table scan.
     pub fn total_ns(&self) -> Nanos {
-        self.inner.lock().values().map(|r| r.total_ns).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.total_ns.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Total number of recorded calls across all functions.
+    /// Total number of recorded calls across all functions. O(shards).
     pub fn total_calls(&self) -> u64 {
-        self.inner.lock().values().map(|r| r.calls).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.total_calls.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Number of distinct function names recorded.
+    /// Number of distinct functions with at least one recorded call or
+    /// pre-aggregated record.
     pub fn function_count(&self) -> usize {
-        self.inner.lock().len()
+        FnId::all()
+            .filter(|&id| {
+                let r = self.inner.record_for(id);
+                r.calls != 0 || r.total_ns != 0
+            })
+            .count()
     }
 
     /// All functions ranked by descending total time, each annotated with
     /// its share of the grand total — the layout of Figures 7 and 8.
     pub fn ranked_by_total(&self) -> Vec<FunctionShare> {
-        let map = self.inner.lock();
-        let total: Nanos = map.values().map(|r| r.total_ns).sum();
-        let mut rows: Vec<FunctionShare> = map
-            .iter()
-            .map(|(name, record)| FunctionShare {
-                name: name.clone(),
-                record: *record,
-                percent_of_total: if total == 0 {
-                    0.0
-                } else {
-                    100.0 * record.total_ns as f64 / total as f64
-                },
+        let total = self.total_ns();
+        let mut rows: Vec<FunctionShare> = FnId::all()
+            .filter_map(|id| {
+                let record = self.inner.record_for(id);
+                if record.calls == 0 && record.total_ns == 0 {
+                    return None;
+                }
+                Some(FunctionShare {
+                    name: id.name().to_owned(),
+                    record,
+                    percent_of_total: if total == 0 {
+                        0.0
+                    } else {
+                        100.0 * record.total_ns as f64 / total as f64
+                    },
+                })
             })
             .collect();
         rows.sort_by(|a, b| {
@@ -137,22 +255,36 @@ impl FunctionStats {
 
     /// Adds a pre-aggregated record (used when merging collectors).
     pub fn add_record(&self, name: &str, record: FunctionRecord) {
-        let mut map = self.inner.lock();
-        let entry = map.entry(name.to_owned()).or_default();
-        entry.calls += record.calls;
-        entry.total_ns += record.total_ns;
+        self.add_record_id(FnId::intern(name), record);
+    }
+
+    /// Adds a pre-aggregated record under an already-interned id.
+    pub fn add_record_id(&self, id: FnId, record: FunctionRecord) {
+        self.inner.add(id, record.calls, record.total_ns);
     }
 
     /// Merges another collector's records into this one.
     pub fn merge(&self, other: &FunctionStats) {
-        for share in other.ranked_by_total() {
-            self.add_record(&share.name, share.record);
+        for id in FnId::all() {
+            let record = other.inner.record_for(id);
+            if record.calls != 0 || record.total_ns != 0 {
+                self.add_record_id(id, record);
+            }
         }
     }
 
     /// Clears all recorded data.
     pub fn reset(&self) {
-        self.inner.lock().clear();
+        for shard in &self.inner.shards {
+            for id in FnId::all() {
+                if let Some(slot) = shard.slots.peek(id) {
+                    slot.calls.store(0, Ordering::Relaxed);
+                    slot.ns.store(0, Ordering::Relaxed);
+                }
+            }
+            shard.total_calls.store(0, Ordering::Relaxed);
+            shard.total_ns.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -162,6 +294,47 @@ impl fmt::Debug for FunctionStats {
             .field("functions", &self.function_count())
             .field("total_ns", &self.total_ns())
             .finish()
+    }
+}
+
+/// The pre-refactor accumulator: one mutex-guarded `String`-keyed map.
+///
+/// Kept as (a) the baseline side of the `dispatch` micro-benchmark and
+/// (b) the reference model the property tests compare the sharded
+/// accumulator against. Not used by any dispatch path.
+#[derive(Clone, Default, Debug)]
+pub struct LegacyStringStats {
+    inner: Arc<parking_lot::Mutex<std::collections::HashMap<String, FunctionRecord>>>,
+}
+
+impl LegacyStringStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one call to `name` costing `ns` virtual nanoseconds by
+    /// locking the map and hashing the name — the old per-call cost.
+    pub fn record(&self, name: &str, ns: Nanos) {
+        let mut map = self.inner.lock();
+        let entry = map.entry(name.to_owned()).or_default();
+        entry.calls += 1;
+        entry.total_ns += ns;
+    }
+
+    /// Returns the record for `name`, if it was ever called.
+    pub fn get(&self, name: &str) -> Option<FunctionRecord> {
+        self.inner.lock().get(name).copied()
+    }
+
+    /// Total virtual time across all recorded functions (O(n) scan).
+    pub fn total_ns(&self) -> Nanos {
+        self.inner.lock().values().map(|r| r.total_ns).sum()
+    }
+
+    /// Total recorded calls across all functions (O(n) scan).
+    pub fn total_calls(&self) -> u64 {
+        self.inner.lock().values().map(|r| r.calls).sum()
     }
 }
 
@@ -176,16 +349,16 @@ mod tests {
         assert_eq!(s.total_calls(), 0);
         assert_eq!(s.function_count(), 0);
         assert!(s.ranked_by_total().is_empty());
-        assert!(s.get("glClear").is_none());
+        assert!(s.get("stats_test_glClear_never").is_none());
     }
 
     #[test]
     fn record_accumulates_per_function() {
         let s = FunctionStats::new();
-        s.record("a", 10);
-        s.record("a", 30);
-        s.record("b", 5);
-        let a = s.get("a").unwrap();
+        s.record("stats_test_a", 10);
+        s.record("stats_test_a", 30);
+        s.record("stats_test_b", 5);
+        let a = s.get("stats_test_a").unwrap();
         assert_eq!(a.calls, 2);
         assert_eq!(a.total_ns, 40);
         assert_eq!(a.avg_ns(), 20.0);
@@ -195,12 +368,27 @@ mod tests {
     }
 
     #[test]
+    fn record_id_matches_record_by_name() {
+        let s = FunctionStats::new();
+        let id = FnId::intern("stats_test_by_id");
+        s.record_id(id, 21);
+        s.record("stats_test_by_id", 21);
+        assert_eq!(
+            s.get("stats_test_by_id"),
+            Some(FunctionRecord {
+                calls: 2,
+                total_ns: 42
+            })
+        );
+    }
+
+    #[test]
     fn ranking_and_shares() {
         let s = FunctionStats::new();
-        s.record("hot", 75);
-        s.record("cold", 25);
+        s.record("stats_test_hot", 75);
+        s.record("stats_test_cold", 25);
         let rows = s.ranked_by_total();
-        assert_eq!(rows[0].name, "hot");
+        assert_eq!(rows[0].name, "stats_test_hot");
         assert!((rows[0].percent_of_total - 75.0).abs() < 1e-9);
         assert!((rows[1].percent_of_total - 25.0).abs() < 1e-9);
     }
@@ -208,31 +396,86 @@ mod tests {
     #[test]
     fn ranking_ties_break_by_name() {
         let s = FunctionStats::new();
-        s.record("zeta", 10);
-        s.record("alpha", 10);
+        s.record("stats_test_zeta", 10);
+        s.record("stats_test_alpha", 10);
         let rows = s.ranked_by_total();
-        assert_eq!(rows[0].name, "alpha");
+        assert_eq!(rows[0].name, "stats_test_alpha");
     }
 
     #[test]
     fn top_n_truncates() {
         let s = FunctionStats::new();
-        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+        for (i, name) in [
+            "stats_test_t_a",
+            "stats_test_t_b",
+            "stats_test_t_c",
+            "stats_test_t_d",
+        ]
+        .iter()
+        .enumerate()
+        {
             s.record(name, (i as u64 + 1) * 10);
         }
         let top = s.top_n(2);
         assert_eq!(top.len(), 2);
-        assert_eq!(top[0].name, "d");
+        assert_eq!(top[0].name, "stats_test_t_d");
     }
 
     #[test]
     fn clones_share_storage_and_reset_clears() {
         let s = FunctionStats::new();
         let t = s.clone();
-        t.record("x", 1);
+        t.record("stats_test_x", 1);
         assert_eq!(s.total_calls(), 1);
         s.reset();
         assert_eq!(t.total_calls(), 0);
+    }
+
+    #[test]
+    fn merge_combines_collectors() {
+        let a = FunctionStats::new();
+        let b = FunctionStats::new();
+        a.record("stats_test_m", 10);
+        b.record("stats_test_m", 5);
+        b.record("stats_test_n", 1);
+        a.merge(&b);
+        assert_eq!(a.get("stats_test_m").unwrap().total_ns, 15);
+        assert_eq!(a.get("stats_test_n").unwrap().calls, 1);
+        // b is untouched by the merge.
+        assert_eq!(b.total_calls(), 2);
+    }
+
+    #[test]
+    fn multithreaded_totals_are_exact() {
+        let s = FunctionStats::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        s.record("stats_test_mt", 3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let rec = s.get("stats_test_mt").unwrap();
+        assert_eq!(rec.calls, 8_000);
+        assert_eq!(rec.total_ns, 24_000);
+        assert_eq!(s.total_calls(), 8_000);
+        assert_eq!(s.total_ns(), 24_000);
+    }
+
+    #[test]
+    fn legacy_stats_match_semantics() {
+        let s = LegacyStringStats::new();
+        s.record("stats_test_legacy", 10);
+        s.record("stats_test_legacy", 20);
+        assert_eq!(s.get("stats_test_legacy").unwrap().calls, 2);
+        assert_eq!(s.total_ns(), 30);
+        assert_eq!(s.total_calls(), 2);
     }
 
     #[test]

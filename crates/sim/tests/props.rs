@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 
-use cycada_sim::stats::FunctionStats;
+use cycada_sim::intern::FnId;
+use cycada_sim::stats::{FunctionStats, LegacyStringStats};
 use cycada_sim::{SharedBuffer, SimRng, VirtualClock};
 
 proptest! {
@@ -100,5 +101,59 @@ proptest! {
         merged.merge(&b);
         prop_assert_eq!(merged.total_ns(), a.total_ns() + b.total_ns());
         prop_assert_eq!(merged.total_calls(), a.total_calls() + b.total_calls());
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_order_stable(names in prop::collection::vec("[a-p]{1,6}", 1..24)) {
+        let first: Vec<FnId> = names.iter().map(|n| FnId::intern(n)).collect();
+        // Re-interning the same names in the same order yields the same ids.
+        let second: Vec<FnId> = names.iter().map(|n| FnId::intern(n)).collect();
+        prop_assert_eq!(&first, &second);
+        // Ids discriminate exactly by name.
+        for (i, a) in names.iter().enumerate() {
+            for (j, b) in names.iter().enumerate() {
+                prop_assert_eq!(first[i] == first[j], a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn fn_id_round_trips_to_name(name in "[a-p]{1,12}") {
+        let id = FnId::intern(&name);
+        prop_assert_eq!(id.name(), name.as_str());
+        prop_assert_eq!(FnId::lookup(&name), Some(id));
+        prop_assert!(id.index() < FnId::count());
+    }
+
+    #[test]
+    fn sharded_snapshot_equals_reference_accumulation(
+        records in prop::collection::vec(("[a-h]{1,4}", 1u64..1_000_000), 1..48),
+        threads in 1usize..5,
+    ) {
+        // Reference: the pre-refactor single-map, single-threaded model.
+        let reference = LegacyStringStats::new();
+        for (n, v) in &records {
+            reference.record(n, *v);
+        }
+
+        // Sharded accumulator fed the same records from several threads.
+        let sharded = FunctionStats::new();
+        let per_thread = records.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for chunk in records.chunks(per_thread) {
+                let s = sharded.clone();
+                scope.spawn(move || {
+                    for (n, v) in chunk {
+                        s.record(n, *v);
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(sharded.total_ns(), reference.total_ns());
+        prop_assert_eq!(sharded.total_calls(), reference.total_calls());
+        for (n, _) in &records {
+            prop_assert_eq!(sharded.get(n), reference.get(n));
+        }
     }
 }

@@ -1,0 +1,643 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so this
+//! crate vendors the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]` header), [`Strategy`] with `prop_map`, tuple /
+//! range / char-class-pattern strategies, `any::<T>()`,
+//! `prop::collection::vec`, `prop::option::of`, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! test-only shim:
+//!
+//! * **No shrinking.** A failing case panics with the case number and seed;
+//!   re-running is deterministic, so the case is reproducible.
+//! * **Deterministic seeding.** Cases are generated from a fixed seed mixed
+//!   with the test name, so runs are stable across machines.
+//! * Pattern strategies support the character-class-with-repetition shapes
+//!   the tests use (e.g. `"[a-z]{1,8}"`, `"[a-d]"`), not full regex.
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------
+// Deterministic RNG (splitmix64)
+// ---------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies by the runner.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer and float range strategies.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                (lo + (hi - lo) * rng.unit_f64()) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                // Closed interval: scale by the next float count; clamping
+                // keeps the endpoint reachable without leaving the range.
+                let v = lo + (hi - lo) * rng.unit_f64() * 1.000_000_1;
+                (v.min(hi)) as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// Pattern strategies: `"[a-z]{1,8}"`-style character classes.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+
+    /// Generates a string from a char-class-with-repetition pattern.
+    /// Unrecognized syntax is emitted literally.
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] == '[' {
+                if let Some(close) = chars[i..].iter().position(|&c| c == ']') {
+                    let class = expand_class(&chars[i + 1..i + close]);
+                    i += close + 1;
+                    let (min, max, used) = repetition(&chars[i..]);
+                    i += used;
+                    let n = min + (rng.below((max - min + 1) as u64) as usize);
+                    for _ in 0..n {
+                        if !class.is_empty() {
+                            out.push(class[rng.below(class.len() as u64) as usize]);
+                        }
+                    }
+                    continue;
+                }
+            }
+            out.push(chars[i]);
+            i += 1;
+        }
+        out
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                for c in lo..=hi {
+                    if let Some(c) = char::from_u32(c) {
+                        out.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Parses `{n}` / `{min,max}` after a class; returns (min, max, chars used).
+    fn repetition(rest: &[char]) -> (usize, usize, usize) {
+        if rest.first() != Some(&'{') {
+            return (1, 1, 0);
+        }
+        if let Some(close) = rest.iter().position(|&c| c == '}') {
+            let body: String = rest[1..close].iter().collect();
+            let parts: Vec<&str> = body.split(',').collect();
+            let parsed = match parts.as_slice() {
+                [n] => n.trim().parse().ok().map(|n: usize| (n, n)),
+                [lo, hi] => lo
+                    .trim()
+                    .parse()
+                    .ok()
+                    .and_then(|lo| hi.trim().parse().ok().map(|hi| (lo, hi))),
+                _ => None,
+            };
+            if let Some((lo, hi)) = parsed {
+                return (lo, hi.max(lo), close + 1);
+            }
+        }
+        (1, 1, 0)
+    }
+}
+
+// Tuple strategies.
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Produces one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        (rng.unit_f64() * 2.0 - 1.0) as f32 * 1.0e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.unit_f64() * 2.0 - 1.0) * 1.0e9
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32((rng.below(94) + 32) as u32).unwrap_or('a')
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+/// Element-count range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let n = self.size.min + rng.below(span + 1) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Option`s of values from an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner + config
+// ---------------------------------------------------------------------
+
+/// Proptest execution configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 96 }
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    case: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name: deterministic per-test seed stream.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            seed,
+            case: 0,
+        }
+    }
+
+    /// The number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for the next case.
+    pub fn next_rng(&mut self) -> TestRng {
+        let rng = TestRng::new(self.seed ^ (u64::from(self.case) << 32));
+        self.case += 1;
+        rng
+    }
+
+    /// The current (0-based) case index, for failure messages.
+    pub fn current_case(&self) -> u32 {
+        self.case.saturating_sub(1)
+    }
+
+    /// The per-test seed, for failure messages.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Mirror of the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Declares property tests. Mirrors real proptest's macro surface:
+/// an optional `#![proptest_config(...)]` header followed by `#[test]`
+/// functions whose parameters are either `name: Type` (an `any::<Type>()`
+/// strategy) or `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (@tests ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::new(config, stringify!($name));
+                for _ in 0..runner.cases() {
+                    let mut rng = runner.next_rng();
+                    let run = || {
+                        $crate::proptest!(@bind rng, $($params)*);
+                        $body
+                    };
+                    if let Err(panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest shim: case {} of test `{}` failed (seed {:#x})",
+                            runner.current_case(),
+                            stringify!($name),
+                            runner.seed(),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    // Parameter binding: `name in strategy` form.
+    (@bind $rng:ident, $var:ident in $strat:expr) => {
+        let $var = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, $var:ident in $strat:expr, $($rest:tt)*) => {
+        let $var = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    // Parameter binding: `name: Type` form.
+    (@bind $rng:ident, $var:ident : $ty:ty) => {
+        let $var = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    (@bind $rng:ident, $var:ident : $ty:ty, $($rest:tt)*) => {
+        let $var = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident,) => {};
+    // No config header: fall through to the test list with defaults.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generation() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..64 {
+            let s = crate::Strategy::generate(&"[a-d]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+            let one = crate::Strategy::generate(&"[x-z]", &mut rng);
+            assert_eq!(one.len(), 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 1u64..100, b in 0f32..=1.0, c: u8) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert!((0.0..=1.0).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn vec_and_option_strategies(
+            v in prop::collection::vec((0usize..4, any::<bool>()), 0..8),
+            o in prop::option::of(any::<u64>()),
+        ) {
+            prop_assert!(v.len() < 8);
+            for (n, _) in &v {
+                prop_assert!(*n < 4);
+            }
+            let _ = o;
+        }
+
+        #[test]
+        fn mapped_tuples(pair in (0u32..10, 0u32..10).prop_map(|(x, y)| x + y)) {
+            prop_assert!(pair < 20);
+        }
+    }
+}
