@@ -76,7 +76,9 @@ struct Drawable {
     /// BGRA (the iOS-native layout), which the Android window path cannot
     /// texture from directly, so presents stage through a conversion copy
     /// (`aegl_bridge_copy_tex_buf` — a top GLES-time consumer in
-    /// Figures 7–10).
+    /// Figures 7–10). The copy is an unscaled GPU blit, so it runs on the
+    /// raster fast plane's row-sliced path under one lock pair rather than
+    /// per-pixel locking (DESIGN.md §5b); virtual-time cost is unchanged.
     staging: cycada_gpu::Image,
 }
 

@@ -691,13 +691,16 @@ impl GlesContext {
             return;
         }
         let bpp = format.bytes_per_pixel();
-        for row in 0..height as usize {
-            for col in 0..width as usize {
-                let off = row * stride + col * bpp;
-                let color = format.pixel_format().decode(&data[off..off + bpp]);
-                image.set_pixel(x + col as u32, y + row as u32, color);
+        let pf = format.pixel_format();
+        image.map_rows(|rows| {
+            for row in 0..height as usize {
+                for col in 0..width as usize {
+                    let off = row * stride + col * bpp;
+                    let color = pf.decode(&data[off..off + bpp]);
+                    rows.set_pixel(x + col as u32, y + row as u32, color);
+                }
             }
-        }
+        });
         self.device
             .charge_upload(u64::from(width) * u64::from(height) * bpp as u64);
     }
@@ -1147,11 +1150,12 @@ impl GlesContext {
                 let clear_color = self.clear_color;
                 let x0 = sx.max(0) as u32;
                 let y0 = sy.max(0) as u32;
-                for y in y0..(y0 + sh).min(target.height()) {
-                    for x in x0..(x0 + sw).min(target.width()) {
-                        target.set_pixel(x, y, clear_color);
-                    }
-                }
+                // One lock for the whole scissor rect (fill_rect clips to
+                // the target bounds just like the old per-pixel loops did).
+                target.fill_rect(
+                    cycada_gpu::raster::Rect { x: x0, y: y0, w: sw, h: sh },
+                    clear_color,
+                );
                 // Scissored clears still cost per covered pixel.
                 self.device
                     .charge_upload(u64::from(sw) * u64::from(sh) * 4 / 8);
@@ -1580,13 +1584,15 @@ impl GlesContext {
         let total = stride * height as usize;
         out.resize(total, 0);
         let pf = format.pixel_format();
-        for row in 0..height {
-            for col in 0..width {
-                let color = target.pixel_rgba(x + col, y + row);
-                let off = row as usize * stride + col as usize * bpp;
-                pf.encode(color, &mut out[off..off + bpp]);
+        target.read_rows(|rows| {
+            for row in 0..height {
+                for col in 0..width {
+                    let color = rows.pixel_rgba(x + col, y + row);
+                    let off = row as usize * stride + col as usize * bpp;
+                    pf.encode(color, &mut out[off..off + bpp]);
+                }
             }
-        }
+        });
         self.device
             .charge_readback(u64::from(width) * u64::from(height) * bpp as u64);
         total
@@ -1606,13 +1612,15 @@ impl fmt::Debug for GlesContext {
 
 fn unpack_into(image: &Image, data: &[u8], stride: usize, bpp: usize) {
     let pf = image.format();
-    for row in 0..image.height() as usize {
-        for col in 0..image.width() as usize {
-            let off = row * stride + col * bpp;
-            let color = pf.decode(&data[off..off + bpp]);
-            image.set_pixel(col as u32, row as u32, color);
+    image.map_rows(|rows| {
+        for row in 0..image.height() as usize {
+            for col in 0..image.width() as usize {
+                let off = row * stride + col * bpp;
+                let color = pf.decode(&data[off..off + bpp]);
+                rows.set_pixel(col as u32, row as u32, color);
+            }
         }
-    }
+    });
 }
 
 #[cfg(test)]

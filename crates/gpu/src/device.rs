@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
@@ -10,7 +11,7 @@ use cycada_sim::{GpuCostModel, Nanos, VirtualClock};
 use crate::fence::{Fence, FenceCondition, FenceId};
 use crate::format::Rgba;
 use crate::image::Image;
-use crate::raster::{self, Pipeline, RasterMetrics, Rect, Vertex};
+use crate::raster::{self, Pipeline, RasterMetrics, RasterThreads, Rect, Vertex};
 
 /// Whether work goes down the 2D (vector/canvas) or 3D path. The two paths
 /// have different relative efficiency per device (Figure 6: the iPad is
@@ -68,6 +69,7 @@ struct DeviceInner {
 pub struct GpuDevice {
     clock: VirtualClock,
     cost: GpuCostModel,
+    raster_threads: AtomicUsize,
     inner: Mutex<DeviceInner>,
 }
 
@@ -77,8 +79,25 @@ impl GpuDevice {
         GpuDevice {
             clock,
             cost,
+            raster_threads: AtomicUsize::new(1),
             inner: Mutex::new(DeviceInner::default()),
         }
+    }
+
+    /// Sets how many scoped worker threads draw commands may rasterize
+    /// with (default 1, i.e. serial).
+    ///
+    /// Tiling affects *host* wall time only: pixel output is byte-identical
+    /// for any count (see [`RasterThreads`]) and virtual-time costs are
+    /// charged from [`RasterMetrics`], so every simulated figure is
+    /// unchanged.
+    pub fn set_raster_threads(&self, threads: RasterThreads) {
+        self.raster_threads.store(threads.count(), Ordering::Relaxed);
+    }
+
+    /// The current draw-command worker count.
+    pub fn raster_threads(&self) -> RasterThreads {
+        RasterThreads(self.raster_threads.load(Ordering::Relaxed))
     }
 
     /// The device's cost model.
@@ -136,9 +155,12 @@ impl GpuDevice {
         inner.stats.draws += 1;
         drop(inner);
 
+        let threads = self.raster_threads();
         let metrics = match indices {
-            Some(idx) => raster::draw_indexed(target, depth, vertices, idx, pipeline),
-            None => raster::draw_triangles(target, depth, vertices, pipeline),
+            Some(idx) => {
+                raster::draw_indexed_tiled(target, depth, vertices, idx, pipeline, threads)
+            }
+            None => raster::draw_triangles_tiled(target, depth, vertices, pipeline, threads),
         };
 
         let scale = self.class_scale(class);
@@ -422,6 +444,28 @@ mod tests {
         gpu.charge_present();
         gpu.charge_present();
         assert_eq!(gpu.stats().presents, 2);
+    }
+
+    #[test]
+    fn raster_threads_change_neither_pixels_nor_virtual_time() {
+        let verts = vec![
+            Vertex::colored([-1.0, -1.0, 0.1], Rgba::RED),
+            Vertex::colored([3.0, -1.0, 0.5], Rgba::GREEN),
+            Vertex::colored([-1.0, 3.0, 0.9], Rgba::BLUE),
+        ];
+        let render = |threads: usize| {
+            let gpu = device();
+            gpu.set_raster_threads(crate::raster::RasterThreads(threads));
+            let img = Image::new(31, 17, PixelFormat::Rgba8888);
+            gpu.draw(&img, None, &verts, None, &Pipeline::default(), DrawClass::ThreeD);
+            (img.to_rgba_vec(), gpu.clock().now_ns())
+        };
+        let (serial_pixels, serial_ns) = render(1);
+        for n in [2, 4, 8] {
+            let (pixels, ns) = render(n);
+            assert_eq!(pixels, serial_pixels, "pixels diverged at {n} threads");
+            assert_eq!(ns, serial_ns, "virtual time diverged at {n} threads");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 use cycada_sim::SharedBuffer;
 
 use crate::format::{PixelFormat, Rgba};
+use crate::raster::Rect;
 
 /// A 2D pixel surface: textures, renderbuffers, IOSurface/GraphicBuffer
 /// pixel stores and the display scanout are all `Image`s.
@@ -159,33 +160,99 @@ impl Image {
         });
     }
 
-    /// Fills the whole image (including padding rows' pixels) with a color.
+    /// Fills the whole image with a color (row padding untouched).
     pub fn fill(&self, color: Rgba) {
+        self.fill_rect(Rect::of_image(self), color);
+    }
+
+    /// Fills a rectangle with a color under a **single** buffer lock.
+    ///
+    /// The rectangle is clamped to the image bounds, so callers may pass
+    /// oversized scissor/viewport rectangles directly. The color is
+    /// encoded once and stamped row by row with `copy_from_slice`, which
+    /// produces exactly the bytes a per-pixel `set_pixel` loop would.
+    pub fn fill_rect(&self, rect: Rect, color: Rgba) {
+        let x0 = rect.x.min(self.width) as usize;
+        let y0 = rect.y.min(self.height) as usize;
+        let x1 = rect.x.saturating_add(rect.w).min(self.width) as usize;
+        let y1 = rect.y.saturating_add(rect.h).min(self.height) as usize;
+        if x0 >= x1 || y0 >= y1 {
+            return;
+        }
         let bpp = self.format.bytes_per_pixel();
+        // One encoded template row for the rect's width: filling is then a
+        // memcpy per row instead of an encode per pixel.
         let mut px = vec![0u8; bpp];
         self.format.encode(color, &mut px);
-        let width = self.width as usize;
+        let mut template = vec![0u8; (x1 - x0) * bpp];
+        for chunk in template.chunks_exact_mut(bpp) {
+            chunk.copy_from_slice(&px);
+        }
         let row_bytes = self.row_bytes;
-        self.buffer.write(|bytes| {
-            for y in 0..self.height as usize {
-                let row = &mut bytes[y * row_bytes..y * row_bytes + width * bpp];
-                for chunk in row.chunks_exact_mut(bpp) {
-                    chunk.copy_from_slice(&px);
-                }
-            }
-        });
+        let mut bytes = self.buffer.write_guard();
+        for y in y0..y1 {
+            let start = y * row_bytes + x0 * bpp;
+            bytes[start..start + template.len()].copy_from_slice(&template);
+        }
+    }
+
+    /// Runs `f` with shared read access to one row's pixel bytes
+    /// (excluding row padding), under a single lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of range.
+    pub fn read_row<R>(&self, y: u32, f: impl FnOnce(&[u8]) -> R) -> R {
+        assert!(y < self.height, "row out of range");
+        let bpp = self.format.bytes_per_pixel();
+        let start = y as usize * self.row_bytes;
+        let bytes = self.buffer.read_guard();
+        f(&bytes[start..start + self.width as usize * bpp])
+    }
+
+    /// Runs `f` with shared read access to every row at once — **one**
+    /// lock for the whole traversal (the read side of the raster plane).
+    pub fn read_rows<R>(&self, f: impl FnOnce(&Rows<'_>) -> R) -> R {
+        let bytes = self.buffer.read_guard();
+        f(&Rows {
+            bytes: &bytes,
+            width: self.width,
+            height: self.height,
+            format: self.format,
+            row_bytes: self.row_bytes,
+        })
+    }
+
+    /// Runs `f` with exclusive access to every row at once — **one** lock
+    /// for the whole traversal (the write side of the raster plane).
+    ///
+    /// This is what bulk producers (`glTexSubImage2D` unpacking, span
+    /// fills, composition) use instead of per-pixel `set_pixel` calls.
+    pub fn map_rows<R>(&self, f: impl FnOnce(&mut RowsMut<'_>) -> R) -> R {
+        let mut bytes = self.buffer.write_guard();
+        f(&mut RowsMut {
+            bytes: &mut bytes,
+            width: self.width,
+            height: self.height,
+            format: self.format,
+            row_bytes: self.row_bytes,
+        })
     }
 
     /// Copies pixel data out into a tightly packed RGBA8888 vector —
     /// the canonical form used by tests to compare renderings
     /// across formats and paddings.
     pub fn to_rgba_vec(&self) -> Vec<u8> {
+        let bpp = self.format.bytes_per_pixel();
         let mut out = Vec::with_capacity(self.pixel_count() as usize * 4);
-        for y in 0..self.height {
-            for x in 0..self.width {
-                out.extend_from_slice(&self.pixel_rgba(x, y).to_bytes());
+        self.read_rows(|rows| {
+            for y in 0..self.height {
+                let row = rows.row(y);
+                for px in row.chunks_exact(bpp) {
+                    out.extend_from_slice(&self.format.decode(px).to_bytes());
+                }
             }
-        }
+        });
         out
     }
 
@@ -198,6 +265,93 @@ impl Image {
             hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
         }
         hash
+    }
+}
+
+/// Shared read view of an [`Image`]'s rows, held under one buffer lock.
+///
+/// Obtained with [`Image::read_rows`].
+#[derive(Debug)]
+pub struct Rows<'a> {
+    bytes: &'a [u8],
+    width: u32,
+    height: u32,
+    format: PixelFormat,
+    row_bytes: usize,
+}
+
+impl Rows<'_> {
+    /// Row `y`'s pixel bytes, excluding row padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of range.
+    pub fn row(&self, y: u32) -> &[u8] {
+        assert!(y < self.height, "row out of range");
+        let start = y as usize * self.row_bytes;
+        &self.bytes[start..start + self.width as usize * self.format.bytes_per_pixel()]
+    }
+
+    /// Decodes the pixel at `(x, y)` (same result as [`Image::pixel_rgba`],
+    /// but without taking the lock again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn pixel_rgba(&self, x: u32, y: u32) -> Rgba {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        let bpp = self.format.bytes_per_pixel();
+        let off = y as usize * self.row_bytes + x as usize * bpp;
+        self.format.decode(&self.bytes[off..off + bpp])
+    }
+
+    /// The image's pixel format.
+    pub fn format(&self) -> PixelFormat {
+        self.format
+    }
+}
+
+/// Exclusive view of an [`Image`]'s rows, held under one buffer lock.
+///
+/// Obtained with [`Image::map_rows`].
+#[derive(Debug)]
+pub struct RowsMut<'a> {
+    bytes: &'a mut [u8],
+    width: u32,
+    height: u32,
+    format: PixelFormat,
+    row_bytes: usize,
+}
+
+impl RowsMut<'_> {
+    /// Mutable access to row `y`'s pixel bytes, excluding row padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of range.
+    pub fn row_mut(&mut self, y: u32) -> &mut [u8] {
+        assert!(y < self.height, "row out of range");
+        let start = y as usize * self.row_bytes;
+        let end = start + self.width as usize * self.format.bytes_per_pixel();
+        &mut self.bytes[start..end]
+    }
+
+    /// Encodes `color` at `(x, y)` (same bytes as [`Image::set_pixel`],
+    /// but without taking the lock again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn set_pixel(&mut self, x: u32, y: u32, color: Rgba) {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        let bpp = self.format.bytes_per_pixel();
+        let off = y as usize * self.row_bytes + x as usize * bpp;
+        self.format.encode(color, &mut self.bytes[off..off + bpp]);
+    }
+
+    /// The image's pixel format.
+    pub fn format(&self) -> PixelFormat {
+        self.format
     }
 }
 

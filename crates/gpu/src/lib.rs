@@ -40,5 +40,5 @@ pub mod raster;
 pub use device::{DrawClass, GpuDevice, GpuStats};
 pub use fence::{Fence, FenceCondition, FenceId};
 pub use format::{PixelFormat, Rgba};
-pub use image::Image;
-pub use raster::{BlendMode, Pipeline, Vertex};
+pub use image::{Image, Rows, RowsMut};
+pub use raster::{BlendMode, Pipeline, RasterThreads, Vertex};

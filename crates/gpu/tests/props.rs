@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use cycada_gpu::math::Mat4;
-use cycada_gpu::raster::{self, Pipeline, Rect};
-use cycada_gpu::{Image, PixelFormat, Rgba, Vertex};
+use cycada_gpu::raster::{self, Pipeline, RasterThreads, Rect};
+use cycada_gpu::{BlendMode, Image, PixelFormat, Rgba, Vertex};
 
 fn arb_color() -> impl Strategy<Value = Rgba> {
     (0.0f32..=1.0, 0.0f32..=1.0, 0.0f32..=1.0, 0.0f32..=1.0)
@@ -143,5 +143,109 @@ proptest! {
         a.fill(color);
         b.fill(color);
         prop_assert_eq!(a.pixel_hash(), b.pixel_hash());
+    }
+
+    // ------------------------------------------------------------------
+    // Raster-plane equivalence: the span rasterizer and the per-pixel
+    // reference implementation must be byte-identical on arbitrary input
+    // (the Acid3 "pixel for pixel" criterion applied to the fast paths).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn span_rasterizer_matches_reference_on_triangle_soups(
+        verts in prop::collection::vec(arb_vertex(), 3..24),
+        alpha_blend: bool,
+        depth_test: bool,
+        w in 1u32..40, h in 1u32..40,
+    ) {
+        let n = verts.len() / 3 * 3;
+        let indices: Vec<u32> = (0..n as u32).collect();
+        let pipeline = Pipeline {
+            blend: if alpha_blend { BlendMode::Alpha } else { BlendMode::Opaque },
+            depth_test,
+            ..Pipeline::default()
+        };
+        let fast = Image::new(w, h, PixelFormat::Rgba8888);
+        let slow = Image::new(w, h, PixelFormat::Rgba8888);
+        let mut fast_depth = raster::depth_buffer_for(&fast);
+        let mut slow_depth = raster::depth_buffer_for(&slow);
+        let mf = raster::draw_indexed(
+            &fast, Some(&mut fast_depth), &verts[..n], &indices, &pipeline,
+        );
+        let ms = raster::reference::draw_indexed(
+            &slow, Some(&mut slow_depth), &verts[..n], &indices, &pipeline,
+        );
+        prop_assert_eq!(mf, ms);
+        prop_assert_eq!(fast.to_rgba_vec(), slow.to_rgba_vec());
+        prop_assert_eq!(fast_depth, slow_depth);
+    }
+
+    #[test]
+    fn tiled_rasterizer_is_byte_identical_across_thread_counts(
+        verts in prop::collection::vec(arb_vertex(), 3..15),
+        w in 1u32..32, h in 1u32..32,
+    ) {
+        let n = verts.len() / 3 * 3;
+        let indices: Vec<u32> = (0..n as u32).collect();
+        let pipeline = Pipeline { blend: BlendMode::Alpha, ..Pipeline::default() };
+        let serial = Image::new(w, h, PixelFormat::Rgba8888);
+        let m1 = raster::draw_indexed(&serial, None, &verts[..n], &indices, &pipeline);
+        for threads in [2usize, 4, 8] {
+            let tiled = Image::new(w, h, PixelFormat::Rgba8888);
+            let m = raster::draw_indexed_tiled(
+                &tiled, None, &verts[..n], &indices, &pipeline, RasterThreads(threads),
+            );
+            prop_assert_eq!(m, m1, "metrics diverged at {} threads", threads);
+            prop_assert_eq!(
+                tiled.to_rgba_vec(), serial.to_rgba_vec(),
+                "pixels diverged at {} threads", threads
+            );
+        }
+    }
+
+    #[test]
+    fn blit_fast_path_matches_reference(
+        sw in 1u32..12, sh in 1u32..12,
+        dw in 1u32..12, dh in 1u32..12,
+        src_bgra: bool, dst_bgra: bool,
+        seed: u8,
+    ) {
+        let sfmt = if src_bgra { PixelFormat::Bgra8888 } else { PixelFormat::Rgba8888 };
+        let dfmt = if dst_bgra { PixelFormat::Bgra8888 } else { PixelFormat::Rgba8888 };
+        let src = Image::new(sw, sh, sfmt);
+        for y in 0..sh {
+            for x in 0..sw {
+                src.set_pixel(x, y, Rgba::from_bytes([
+                    seed.wrapping_add((x * 37) as u8),
+                    seed.wrapping_mul((y * 11) as u8 | 1),
+                    (x ^ y) as u8,
+                    255,
+                ]));
+            }
+        }
+        let fast = Image::new(dw, dh, dfmt);
+        let slow = Image::new(dw, dh, dfmt);
+        let n_fast = raster::blit(&src, Rect::of_image(&src), &fast, Rect::of_image(&fast));
+        let n_slow = raster::reference::blit(&src, Rect::of_image(&src), &slow, Rect::of_image(&slow));
+        prop_assert_eq!(n_fast, n_slow);
+        prop_assert_eq!(fast.to_rgba_vec(), slow.to_rgba_vec());
+    }
+
+    #[test]
+    fn fill_rect_matches_per_pixel_fill(
+        w in 1u32..16, h in 1u32..16,
+        x in 0u32..20, y in 0u32..20,
+        rw in 0u32..20, rh in 0u32..20,
+        color in arb_color(),
+    ) {
+        let fast = Image::new(w, h, PixelFormat::Rgba8888);
+        let slow = Image::new(w, h, PixelFormat::Rgba8888);
+        fast.fill_rect(Rect { x, y, w: rw, h: rh }, color);
+        for py in y..(y.saturating_add(rh)).min(h) {
+            for px in x..(x.saturating_add(rw)).min(w) {
+                slow.set_pixel(px, py, color);
+            }
+        }
+        prop_assert_eq!(fast.to_rgba_vec(), slow.to_rgba_vec());
     }
 }

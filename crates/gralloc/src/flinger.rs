@@ -5,6 +5,10 @@
 //! driver" (§2). Our compositor posts client buffers (or raw images) onto
 //! the display scanout through the GPU's copy engine, charging realistic
 //! composition costs — this is where `eglSwapBuffers`' expense comes from.
+//!
+//! Composition rides the raster fast plane (DESIGN.md §5b): an unscaled
+//! same-format layer is one `copy_from_slice` per row under a single lock
+//! pair, which is what a full-screen post onto the RGBA scanout hits.
 
 use std::fmt;
 use std::sync::Arc;

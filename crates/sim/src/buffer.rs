@@ -1,10 +1,11 @@
 //! Shared zero-copy byte buffers modelling graphics memory.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -98,6 +99,29 @@ impl SharedBuffer {
         f(&mut self.data.write())
     }
 
+    /// Acquires shared read access for the lifetime of the returned RAII
+    /// guard — the whole-slice form of [`SharedBuffer::read`].
+    ///
+    /// This is the raster fast plane's entry point: a bulk operation (a
+    /// clear, a draw, a blit) takes the lock **once** and then works on
+    /// plain byte slices, instead of paying a lock round-trip per pixel.
+    /// The lock is not reentrant: holding a guard and calling a closure
+    /// API ([`SharedBuffer::read`]/[`SharedBuffer::write`]) on the *same*
+    /// allocation from the same thread deadlocks, so guard holders must
+    /// only touch other allocations (callers check with
+    /// [`SharedBuffer::same_allocation`]).
+    pub fn read_guard(&self) -> BufferReadGuard<'_> {
+        BufferReadGuard(self.data.read())
+    }
+
+    /// Acquires exclusive write access for the lifetime of the returned
+    /// RAII guard — the whole-slice form of [`SharedBuffer::write`].
+    ///
+    /// See [`SharedBuffer::read_guard`] for the locking discipline.
+    pub fn write_guard(&self) -> BufferWriteGuard<'_> {
+        BufferWriteGuard(self.data.write())
+    }
+
     /// Copies the whole buffer out. Intended for test assertions, not for
     /// the simulated fast path (which would defeat the zero-copy model).
     pub fn to_vec(&self) -> Vec<u8> {
@@ -117,6 +141,55 @@ impl SharedBuffer {
     /// Number of live handles to this allocation (including `self`).
     pub fn handle_count(&self) -> usize {
         Arc::strong_count(&self.data)
+    }
+}
+
+/// RAII shared-read guard over a [`SharedBuffer`]'s bytes.
+///
+/// Dereferences to `&[u8]`. Obtained with [`SharedBuffer::read_guard`].
+pub struct BufferReadGuard<'a>(RwLockReadGuard<'a, Vec<u8>>);
+
+impl Deref for BufferReadGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BufferReadGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferReadGuard")
+            .field("len", &self.0.len())
+            .finish()
+    }
+}
+
+/// RAII exclusive-write guard over a [`SharedBuffer`]'s bytes.
+///
+/// Dereferences to `&mut [u8]`. Obtained with
+/// [`SharedBuffer::write_guard`].
+pub struct BufferWriteGuard<'a>(RwLockWriteGuard<'a, Vec<u8>>);
+
+impl Deref for BufferWriteGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BufferWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl fmt::Debug for BufferWriteGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferWriteGuard")
+            .field("len", &self.0.len())
+            .finish()
     }
 }
 
@@ -182,6 +255,28 @@ mod tests {
         a.fill(7);
         assert_eq!(a.to_vec(), vec![7, 7, 7]);
         assert!(SharedBuffer::zeroed(0).is_empty());
+    }
+
+    #[test]
+    fn guards_expose_whole_slices() {
+        let a = SharedBuffer::from_vec(vec![1, 2, 3, 4]);
+        {
+            let mut w = a.write_guard();
+            w[2] = 9;
+            w.copy_within(0..1, 3);
+        }
+        let r = a.read_guard();
+        assert_eq!(&*r, &[1, 2, 9, 1]);
+        // A second reader may coexist with the first.
+        let r2 = a.read_guard();
+        assert_eq!(r2.len(), 4);
+    }
+
+    #[test]
+    fn guard_matches_closure_view() {
+        let a = SharedBuffer::zeroed(8);
+        a.write(|b| b[5] = 42);
+        assert_eq!(a.read_guard()[5], a.read(|b| b[5]));
     }
 
     #[test]

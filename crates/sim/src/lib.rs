@@ -40,7 +40,7 @@ mod profile;
 mod rng;
 pub mod stats;
 
-pub use buffer::{BufferId, SharedBuffer};
+pub use buffer::{BufferId, BufferReadGuard, BufferWriteGuard, SharedBuffer};
 pub use clock::{ClockGuard, VirtualClock};
 pub use profile::{CpuClass, DeviceProfile, GpuCostModel, Persona, Platform};
 pub use rng::SimRng;
