@@ -1,0 +1,111 @@
+//! Session-plane benchmarks: throughput of N concurrent app sessions on one
+//! shared Cycada device, and the wall cost of attaching a session vs booting
+//! a whole device.
+//!
+//! Naming: `sessions/concurrent_n{N}` and `sessions/serial_n{N}` both render
+//! `N × FRAMES_PER_SESSION` frames per iteration — the concurrent variant
+//! from N host threads, the serial variant from one — so frames/sec is
+//! `(N * FRAMES_PER_SESSION) / mean_ns * 1e9` and the concurrent/serial
+//! mean ratio is the parallel speedup. `sessions/device_boot` vs
+//! `sessions/session_attach` shows why sharing the device matters: attaching
+//! skips the kernel/linker/GPU/flinger boot and must come out ≥10× cheaper.
+//!
+//! Run with `CRITERION_JSON_OUT=BENCH_sessions.json cargo bench --bench
+//! sessions` to emit the committed results file.
+
+use std::sync::Barrier;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cycada::{AppGl, CycadaDevice};
+use cycada_gles::{GlesVersion, Primitive};
+
+const W: u32 = 160;
+const H: u32 = 120;
+const FRAMES_PER_SESSION: u32 = 6;
+const SESSION_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn drive_frames(app: &AppGl, frames: u32) {
+    let tri = [-0.8f32, -0.6, 0.0, 0.8, -0.6, 0.0, 0.0, 0.9, 0.0];
+    for f in 0..frames {
+        let r = (f % 5) as f32 / 5.0;
+        app.clear(r, 0.25, 1.0 - r, 1.0).unwrap();
+        app.draw(Primitive::Triangles, &tri, [r, 0.8, 0.3, 1.0]).unwrap();
+        app.present().unwrap();
+    }
+}
+
+/// N sessions on one device, each driven from its own host thread.
+fn bench_concurrent(c: &mut Criterion) {
+    for n in SESSION_COUNTS {
+        let device = CycadaDevice::boot_with_display(Some((W, H))).unwrap();
+        let mut apps: Vec<AppGl> = (0..n)
+            .map(|_| AppGl::attach_cycada(&device, GlesVersion::V1).unwrap())
+            .collect();
+        // Warm every session (symbol resolution) before measuring.
+        for app in &apps {
+            drive_frames(app, 1);
+        }
+        c.bench_function(&format!("sessions/concurrent_n{n}"), |b| {
+            b.iter(|| {
+                let barrier = Barrier::new(n);
+                std::thread::scope(|scope| {
+                    for app in &mut apps {
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            barrier.wait();
+                            drive_frames(app, FRAMES_PER_SESSION);
+                        });
+                    }
+                });
+            })
+        });
+    }
+}
+
+/// The same N × FRAMES_PER_SESSION frames, one host thread, back to back.
+fn bench_serial(c: &mut Criterion) {
+    for n in SESSION_COUNTS {
+        let device = CycadaDevice::boot_with_display(Some((W, H))).unwrap();
+        let apps: Vec<AppGl> = (0..n)
+            .map(|_| AppGl::attach_cycada(&device, GlesVersion::V1).unwrap())
+            .collect();
+        for app in &apps {
+            drive_frames(app, 1);
+        }
+        c.bench_function(&format!("sessions/serial_n{n}"), |b| {
+            b.iter(|| {
+                for app in &apps {
+                    drive_frames(app, FRAMES_PER_SESSION);
+                }
+            })
+        });
+    }
+}
+
+/// Full device boot: kernel, linker, vendor libraries, GPU, flinger, EAGL.
+fn bench_device_boot(c: &mut Criterion) {
+    c.measurement_time(Duration::from_millis(500));
+    c.bench_function("sessions/device_boot", |b| {
+        b.iter(|| CycadaDevice::boot_with_display(Some((W, H))).unwrap())
+    });
+    c.measurement_time(Duration::from_millis(250));
+}
+
+/// Attaching one more app session to an already-booted device.
+fn bench_session_attach(c: &mut Criterion) {
+    let device = CycadaDevice::boot_with_display(Some((W, H))).unwrap();
+    c.bench_function("sessions/session_attach", |b| {
+        b.iter(|| device.attach_session().unwrap())
+    });
+}
+
+criterion_group!(
+    sessions,
+    bench_concurrent,
+    bench_serial,
+    bench_device_boot,
+    bench_session_attach,
+);
+criterion_main!(sessions);

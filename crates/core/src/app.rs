@@ -23,22 +23,28 @@ use cycada_sim::{stats::FunctionStats, Nanos, Platform, VirtualClock};
 
 use crate::eagl::EaglContextId;
 use crate::error::CycadaError;
-use crate::process::{AndroidDevice, CycadaDevice, IosDevice};
+use crate::process::{
+    AndroidDevice, AndroidSession, CycadaDevice, CycadaSession, IosDevice, IosSession,
+    SessionScope,
+};
 use crate::Result;
 
 enum Backend {
     CycadaIos {
         device: CycadaDevice,
+        session: CycadaSession,
         eagl_ctx: EaglContextId,
         fbo: u32,
     },
     Android {
         device: AndroidDevice,
+        session: AndroidSession,
         ctx: EglContextId,
         surface: EglSurfaceId,
     },
     NativeIos {
         device: IosDevice,
+        session: IosSession,
         eagl_ctx: u32,
         fbo: u32,
     },
@@ -93,7 +99,28 @@ impl AppGl {
 
     fn boot_cycada(version: GlesVersion, display: Option<(u32, u32)>) -> Result<AppGl> {
         let device = CycadaDevice::boot_with_display(display)?;
-        let tid = device.main_tid();
+        let session = device.primary_session().clone();
+        Self::with_cycada_session(device, session, version)
+    }
+
+    /// Attaches a new app session to an already-booted Cycada device and
+    /// sets up a full-screen context for it. Many apps can attach to one
+    /// device and render concurrently, each from its own host thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError`] if session or context setup fails.
+    pub fn attach_cycada(device: &CycadaDevice, version: GlesVersion) -> Result<AppGl> {
+        let session = device.attach_session()?;
+        Self::with_cycada_session(device.clone(), session, version)
+    }
+
+    fn with_cycada_session(
+        device: CycadaDevice,
+        session: CycadaSession,
+        version: GlesVersion,
+    ) -> Result<AppGl> {
+        let tid = session.main_tid();
         let display = device.kernel().display();
         let (w, h) = (display.width(), display.height());
         let eagl = device.eagl().clone();
@@ -112,6 +139,7 @@ impl AppGl {
             version,
             backend: Backend::CycadaIos {
                 device,
+                session,
                 eagl_ctx,
                 fbo,
             },
@@ -133,7 +161,31 @@ impl AppGl {
         display: Option<(u32, u32)>,
     ) -> Result<AppGl> {
         let device = AndroidDevice::boot_with_display(platform, display)?;
-        let tid = device.main_tid();
+        let session = device.primary_session().clone();
+        Self::with_android_session(device, session, platform, version)
+    }
+
+    /// Attaches a new app session to an already-booted Android device.
+    ///
+    /// All sessions share the default EGL connection (the single-connection
+    /// restriction), so they must request the device's locked GLES version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError`] if session or context setup fails.
+    pub fn attach_android(device: &AndroidDevice, version: GlesVersion) -> Result<AppGl> {
+        let platform = device.kernel().profile().platform;
+        let session = device.attach_session()?;
+        Self::with_android_session(device.clone(), session, platform, version)
+    }
+
+    fn with_android_session(
+        device: AndroidDevice,
+        session: AndroidSession,
+        platform: Platform,
+        version: GlesVersion,
+    ) -> Result<AppGl> {
+        let tid = session.main_tid();
         let display = device.kernel().display();
         let (w, h) = (display.width(), display.height());
         let egl = device.egl().clone();
@@ -145,6 +197,7 @@ impl AppGl {
             version,
             backend: Backend::Android {
                 device,
+                session,
                 ctx,
                 surface,
             },
@@ -162,7 +215,26 @@ impl AppGl {
 
     fn boot_native_ios(version: GlesVersion, display: Option<(u32, u32)>) -> Result<AppGl> {
         let device = IosDevice::boot_with_display(display)?;
-        let tid = device.main_tid();
+        let session = device.primary_session().clone();
+        Self::with_native_ios_session(device, session, version)
+    }
+
+    /// Attaches a new app session to an already-booted native iOS device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError`] if session or context setup fails.
+    pub fn attach_native_ios(device: &IosDevice, version: GlesVersion) -> Result<AppGl> {
+        let session = device.attach_session()?;
+        Self::with_native_ios_session(device.clone(), session, version)
+    }
+
+    fn with_native_ios_session(
+        device: IosDevice,
+        session: IosSession,
+        version: GlesVersion,
+    ) -> Result<AppGl> {
+        let tid = session.main_tid();
         let display = device.kernel().display();
         let (w, h) = (display.width(), display.height());
         let stack = device.stack().clone();
@@ -181,6 +253,7 @@ impl AppGl {
             version,
             backend: Backend::NativeIos {
                 device,
+                session,
                 eagl_ctx,
                 fbo,
             },
@@ -365,6 +438,42 @@ impl AppGl {
             Backend::CycadaIos { device, .. } => Some(device),
             _ => None,
         }
+    }
+
+    /// The Cycada session this app runs in, when on Cycada iOS.
+    pub fn cycada_session(&self) -> Option<&CycadaSession> {
+        match &self.backend {
+            Backend::CycadaIos { session, .. } => Some(session),
+            _ => None,
+        }
+    }
+
+    /// Opens this app's session accounting scope on the calling host
+    /// thread: virtual time charged (and, on Cycada, diplomat calls made)
+    /// while the guard lives are credited to the session, independent of
+    /// other sessions interleaving on the shared device.
+    pub fn session_scope(&self) -> SessionScope {
+        match &self.backend {
+            Backend::CycadaIos { session, .. } => session.scope(),
+            Backend::Android { session, .. } => session.scope(),
+            Backend::NativeIos { session, .. } => session.scope(),
+        }
+    }
+
+    /// Virtual nanoseconds this app's session has accumulated inside its
+    /// scopes ([`AppGl::session_scope`]).
+    pub fn session_virtual_ns(&self) -> Nanos {
+        match &self.backend {
+            Backend::CycadaIos { session, .. } => session.virtual_ns(),
+            Backend::Android { session, .. } => session.virtual_ns(),
+            Backend::NativeIos { session, .. } => session.virtual_ns(),
+        }
+    }
+
+    /// Per-diplomat stats recorded inside this session's scopes — only
+    /// meaningful on Cycada iOS.
+    pub fn session_stats(&self) -> Option<FunctionStats> {
+        self.cycada_session().map(|s| s.stats().clone())
     }
 
     /// The app's framebuffer object on the iOS paths (EAGL renders
@@ -898,6 +1007,32 @@ impl AppGl {
             |bridge, tid| bridge.get_string(tid, StringName::Extensions),
             |gles, tid| Ok(gles.get_string(tid, StringName::Extensions)),
         )
+    }
+
+    /// Assigns this app's window a SurfaceFlinger layer rectangle:
+    /// presented frames compose into the rectangle instead of covering the
+    /// panel, so several apps sharing a device can own disjoint screen
+    /// regions. Apps that never call this keep full-screen presentation.
+    ///
+    /// Native iOS has no compositor between the app and the panel; the
+    /// call is a no-op there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError`] for unknown surfaces.
+    pub fn set_display_layer(&self, rect: cycada_gpu::raster::Rect) -> Result<()> {
+        match &self.backend {
+            Backend::CycadaIos {
+                device, eagl_ctx, ..
+            } => device.eagl().set_drawable_layer(*eagl_ctx, rect),
+            Backend::Android {
+                device, surface, ..
+            } => Ok(device
+                .egl()
+                .set_surface_layer(*surface, rect)
+                .map_err(CycadaError::from)?),
+            Backend::NativeIos { .. } => Ok(()),
+        }
     }
 
     /// Presents the frame to the display.

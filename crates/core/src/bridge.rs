@@ -55,10 +55,26 @@ struct RowBytes {
 /// two bridges on one host thread cannot alias each other's entries.
 static NEXT_BRIDGE_INSTANCE: AtomicU64 = AtomicU64::new(0);
 
+/// Instances of bridges still alive. Long-lived host threads serve many
+/// short-lived sessions/devices, so thread-local row-bytes entries must be
+/// evicted once their bridge is gone — membership here is the liveness
+/// test ([`GlesBridge`]'s `Drop` retires the instance).
+static LIVE_BRIDGES: std::sync::OnceLock<Mutex<std::collections::HashSet<u64>>> =
+    std::sync::OnceLock::new();
+
+fn live_bridges() -> &'static Mutex<std::collections::HashSet<u64>> {
+    LIVE_BRIDGES.get_or_init(|| Mutex::new(std::collections::HashSet::new()))
+}
+
+/// Entry count above which an insert first evicts entries of dropped
+/// bridges (and informationless default entries) from the calling thread.
+const ROW_BYTES_PRUNE_LEN: usize = 8;
+
 thread_local! {
     /// `(bridge instance, sim tid)` → `APPLE_row_bytes` state. A short
     /// linear-scanned vec: a thread touches a handful of (bridge, tid)
     /// pairs, and the scan replaces the old global mutex + hash per call.
+    /// Growth across session churn is bounded by pruning on insert.
     static ROW_BYTES: RefCell<Vec<((u64, u64), RowBytes)>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -79,11 +95,13 @@ impl GlesBridge {
     /// dispatch.
     pub fn new(engine: Arc<DiplomatEngine>, egl: Arc<AndroidEgl>) -> Self {
         GlesRegistry::global();
+        let instance = NEXT_BRIDGE_INSTANCE.fetch_add(1, Ordering::Relaxed);
+        live_bridges().lock().insert(instance);
         GlesBridge {
             engine,
             egl,
             entries: DiplomatTable::new(),
-            instance: NEXT_BRIDGE_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            instance,
             on_delete_textures: Mutex::new(None),
         }
     }
@@ -153,12 +171,14 @@ impl GlesBridge {
     fn foreign_only<R>(&self, tid: SimTid, id: FnId, f: impl FnOnce() -> R) -> R {
         let _ = tid;
         let clock = self.engine.kernel().clock();
-        let span = clock.span();
+        // Thread-scoped like DiplomatEngine::call: concurrent sessions'
+        // charges must not leak into this call's recorded time.
+        let span = clock.thread_span();
         // Ensure the entry exists for classification introspection.
         let _ = self.entry(id, id.name(), DiplomatPattern::DataDependent);
         clock.charge_ns(40); // parameter inspection in foreign code
         let r = f();
-        self.engine.stats().record_id(id, span.elapsed_ns());
+        self.engine.record_call(id, span.elapsed_ns());
         r
     }
 
@@ -181,6 +201,15 @@ impl GlesBridge {
             if let Some((_, rb)) = state.iter_mut().find(|(k, _)| *k == key) {
                 f(rb);
             } else {
+                if state.len() >= ROW_BYTES_PRUNE_LEN {
+                    // Evict entries whose bridge is gone, plus defaults
+                    // (absence already reads as default), so session churn
+                    // cannot grow the scan without bound.
+                    let live = live_bridges().lock();
+                    state.retain(|((inst, _), rb)| {
+                        live.contains(inst) && (rb.unpack != 0 || rb.pack != 0)
+                    });
+                }
                 let mut rb = RowBytes::default();
                 f(&mut rb);
                 state.push((key, rb));
@@ -817,6 +846,18 @@ impl GlesBridge {
     }
 }
 
+impl Drop for GlesBridge {
+    fn drop(&mut self) {
+        // Retire the instance and drop this thread's own entries eagerly;
+        // other threads' entries for it are evicted lazily on their next
+        // insert (they can no longer match a live instance).
+        live_bridges().lock().remove(&self.instance);
+        let _ = ROW_BYTES.try_with(|state| {
+            state.borrow_mut().retain(|((inst, _), _)| *inst != self.instance);
+        });
+    }
+}
+
 impl fmt::Debug for GlesBridge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("GlesBridge")
@@ -907,5 +948,50 @@ mod tests {
     #[test]
     fn surface_size_is_table2_total() {
         assert_eq!(bridged_surface_size(), 344);
+    }
+
+    fn thread_row_bytes_len() -> usize {
+        ROW_BYTES.with(|state| state.borrow().len())
+    }
+
+    #[test]
+    fn dropping_a_bridge_clears_this_threads_row_bytes() {
+        let device = crate::process::CycadaDevice::boot_with_display(Some((4, 4))).unwrap();
+        let tid = device.main_tid();
+        device
+            .bridge()
+            .pixel_storei(tid, PixelStoreParam::UnpackRowBytesApple, 64)
+            .unwrap();
+        let instance = device.bridge().instance;
+        let has_entry = || {
+            ROW_BYTES.with(|s| s.borrow().iter().any(|((inst, _), _)| *inst == instance))
+        };
+        assert!(has_entry());
+        drop(device);
+        assert!(!has_entry(), "Drop evicts the dropping thread's entries");
+    }
+
+    #[test]
+    fn row_bytes_entries_do_not_grow_across_session_churn() {
+        // Entries left behind by bridges dropped on *another* host thread
+        // are pruned lazily once the scan grows past the threshold.
+        let baseline = thread_row_bytes_len();
+        for _ in 0..2 * ROW_BYTES_PRUNE_LEN {
+            let device =
+                crate::process::CycadaDevice::boot_with_display(Some((4, 4))).unwrap();
+            let tid = device.main_tid();
+            device
+                .bridge()
+                .pixel_storei(tid, PixelStoreParam::UnpackRowBytesApple, 64)
+                .unwrap();
+            // Dropping on another thread leaves this thread's entry in
+            // place, relying on the lazy prune path.
+            std::thread::spawn(move || drop(device)).join().unwrap();
+        }
+        assert!(
+            thread_row_bytes_len() <= baseline + ROW_BYTES_PRUNE_LEN + 1,
+            "entries kept growing: {} (baseline {baseline})",
+            thread_row_bytes_len(),
+        );
     }
 }

@@ -136,6 +136,24 @@ impl Eagl {
             .ok_or_else(|| CycadaError::Eagl(format!("unknown EAGLContext {ctx}")))
     }
 
+    /// Assigns a SurfaceFlinger layer rectangle to this context's window
+    /// surface, so its presented frames compose into `rect` rather than
+    /// covering the panel (the multi-app path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError::Eagl`] for unknown contexts.
+    pub fn set_drawable_layer(
+        &self,
+        ctx: EaglContextId,
+        rect: cycada_gpu::raster::Rect,
+    ) -> Result<()> {
+        let window_surface = self.record(ctx, |r| r.window_surface)?;
+        self.egl
+            .set_surface_layer(window_surface, rect)
+            .map_err(CycadaError::from)
+    }
+
     // ------------------------------------------------------------------
     // Multi-diplomat methods (6)
     // ------------------------------------------------------------------

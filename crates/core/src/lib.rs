@@ -58,7 +58,10 @@ pub use error::CycadaError;
 pub use gcd::DispatchQueue;
 pub use iosurface_bridge::IoSurfaceBridge;
 pub use native_ios::{register_ios_graphics, NativeIosStack, IOS_GLES_LIB};
-pub use process::{AndroidDevice, CycadaDevice, IosDevice, APPLE_GRAPHICS_TLS_SLOTS};
+pub use process::{
+    AndroidDevice, AndroidSession, CycadaDevice, CycadaSession, IosDevice, IosSession,
+    SessionScope, APPLE_GRAPHICS_TLS_SLOTS,
+};
 pub use support::{classify, SupportKind, Table2};
 
 /// Convenient result alias for Cycada operations.

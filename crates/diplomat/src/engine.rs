@@ -264,7 +264,11 @@ impl DiplomatEngine {
         domestic: impl FnOnce() -> R,
     ) -> Result<R> {
         let clock = self.kernel.clock();
-        let span = clock.span();
+        // Measure the thread's own charges, not global clock movement:
+        // under concurrent sessions the shared clock advances from other
+        // host threads mid-call, and recording that would make per-call
+        // figures depend on interleaving.
+        let span = clock.thread_span();
         entry.calls.fetch_add(1, Ordering::Relaxed);
 
         // (1) Lazy symbol resolution, cached for efficient reuse.
@@ -323,8 +327,51 @@ impl DiplomatEngine {
 
         // (11) Return value restored; control returns to foreign code.
         clock.charge_ns(RET_RESTORE_NS);
-        self.stats.record_id(entry.fn_id, span.elapsed_ns());
+        self.record_call(entry.fn_id, span.elapsed_ns());
         Ok(result)
+    }
+
+    /// Records one call's elapsed time in the engine-wide stats and in any
+    /// session stats scopes installed on the calling thread. Bridge-side
+    /// foreign-only paths use this so their calls are attributed the same
+    /// way diplomat calls are.
+    pub fn record_call(&self, id: FnId, elapsed: Nanos) {
+        self.stats.record_id(id, elapsed);
+        STATS_SCOPES.with(|scopes| {
+            for scoped in scopes.borrow().iter() {
+                scoped.record_id(id, elapsed);
+            }
+        });
+    }
+
+    /// Installs `stats` as an additional per-call sink for diplomat calls
+    /// made *by the calling host thread* until the guard drops. Sessions use
+    /// this to keep their own function-time breakdown on a shared engine.
+    pub fn enter_stats_scope(stats: FunctionStats) -> StatsScopeGuard {
+        STATS_SCOPES.with(|scopes| scopes.borrow_mut().push(stats));
+        StatsScopeGuard { _not_send: std::marker::PhantomData }
+    }
+}
+
+thread_local! {
+    /// Per-thread stack of extra stats sinks (session scopes).
+    static STATS_SCOPES: std::cell::RefCell<Vec<FunctionStats>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Live stats scope on one host thread; dropping it uninstalls the sink.
+#[must_use = "the scope only records while the guard is alive"]
+#[derive(Debug)]
+pub struct StatsScopeGuard {
+    // Scope entries are per-thread; keep the guard on the installing thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for StatsScopeGuard {
+    fn drop(&mut self) {
+        STATS_SCOPES.with(|scopes| {
+            scopes.borrow_mut().pop();
+        });
     }
 }
 

@@ -30,7 +30,7 @@ mod impersonation;
 mod table;
 mod tls;
 
-pub use engine::{DiplomatEngine, DiplomatEntry, DiplomatPattern, HookKind};
+pub use engine::{DiplomatEngine, DiplomatEntry, DiplomatPattern, HookKind, StatsScopeGuard};
 pub use error::DiplomatError;
 pub use impersonation::ImpersonationGuard;
 pub use table::DiplomatTable;

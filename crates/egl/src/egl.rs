@@ -306,8 +306,31 @@ impl AndroidEgl {
             .lock()
             .remove(&surface)
             .ok_or(EglError::BadSurface)?;
+        self.flinger.clear_layer(record.front.handle());
+        self.flinger.clear_layer(record.back.handle());
         let _ = self.allocator.free(tid, record.front.handle());
         let _ = self.allocator.free(tid, record.back.handle());
+        Ok(())
+    }
+
+    /// Assigns a SurfaceFlinger layer rectangle to a window surface: swaps
+    /// of this surface compose into `rect` instead of covering the panel
+    /// (the multi-app path; surfaces without a layer stay full-screen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EglError::BadSurface`] for unknown handles.
+    pub fn set_surface_layer(
+        &self,
+        surface: EglSurfaceId,
+        rect: cycada_gpu::raster::Rect,
+    ) -> Result<()> {
+        let surfaces = self.surfaces.lock();
+        let record = surfaces.get(&surface).ok_or(EglError::BadSurface)?;
+        // Front and back trade places every swap; rect both so the layer
+        // survives buffer rotation.
+        self.flinger.assign_layer(record.front.handle(), rect);
+        self.flinger.assign_layer(record.back.handle(), rect);
         Ok(())
     }
 

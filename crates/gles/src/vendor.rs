@@ -12,7 +12,6 @@
 //! `VendorGles` values — which is precisely what `EGL_multi_context`
 //! exploits (§8).
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -21,6 +20,7 @@ use parking_lot::Mutex;
 
 use cycada_gpu::{DrawClass, GpuDevice, Image};
 use cycada_kernel::SimTid;
+use cycada_sim::slots::SlotTable;
 use cycada_sim::Nanos;
 
 use crate::registry::{ApiFlavor, GlesRegistry, GlesVersion};
@@ -47,11 +47,17 @@ const MAKE_CURRENT_NS: Nanos = 95_000;
 pub type ContextId = u32;
 
 /// One loaded instance of a vendor GLES library.
+///
+/// The context registry and the per-thread current binding are dense
+/// [`SlotTable`]s (keyed by context id and simulated tid respectively), so
+/// concurrent sessions dispatching GL calls never serialize on a shared
+/// map lock: each thread's binding lives in its own slot, and the binding
+/// carries the context handle so dispatch is a single slot read.
 pub struct VendorGles {
     flavor: ApiFlavor,
     device: Arc<GpuDevice>,
-    contexts: Mutex<HashMap<ContextId, Arc<Mutex<GlesContext>>>>,
-    current: Mutex<HashMap<u64, ContextId>>,
+    contexts: SlotTable<Arc<Mutex<GlesContext>>>,
+    current: SlotTable<(ContextId, Arc<Mutex<GlesContext>>)>,
     next_context: AtomicU32,
     calls_without_context: AtomicU64,
 }
@@ -62,8 +68,8 @@ impl VendorGles {
         VendorGles {
             flavor,
             device,
-            contexts: Mutex::new(HashMap::new()),
-            current: Mutex::new(HashMap::new()),
+            contexts: SlotTable::new(),
+            current: SlotTable::new(),
             next_context: AtomicU32::new(1),
             calls_without_context: AtomicU64::new(0),
         }
@@ -97,19 +103,19 @@ impl VendorGles {
     pub fn create_context(&self, version: GlesVersion) -> ContextId {
         let id = self.next_context.fetch_add(1, Ordering::Relaxed);
         let ctx = GlesContext::new(version, self.flavor, self.device.clone());
-        self.contexts.lock().insert(id, Arc::new(Mutex::new(ctx)));
+        self.contexts.set(u64::from(id), Some(Arc::new(Mutex::new(ctx))));
         id
     }
 
     /// Destroys a context. Returns `true` if it existed.
     pub fn destroy_context(&self, id: ContextId) -> bool {
-        self.current.lock().retain(|_, c| *c != id);
-        self.contexts.lock().remove(&id).is_some()
+        self.current.retain(|(bound, _)| *bound != id);
+        self.contexts.set(u64::from(id), None).is_some()
     }
 
     /// Looks up a context object.
     pub fn context(&self, id: ContextId) -> Option<Arc<Mutex<GlesContext>>> {
-        self.contexts.lock().get(&id).cloned()
+        self.contexts.get(u64::from(id))
     }
 
     /// The GLES version of a context.
@@ -130,7 +136,7 @@ impl VendorGles {
         self.charge(MAKE_CURRENT_NS);
         match ctx {
             None => {
-                self.current.lock().remove(&tid.as_u64());
+                self.current.set(tid.as_u64(), None);
                 true
             }
             Some(id) => {
@@ -138,7 +144,7 @@ impl VendorGles {
                     return false;
                 };
                 handle.lock().set_default_framebuffer(default_fb);
-                self.current.lock().insert(tid.as_u64(), id);
+                self.current.set(tid.as_u64(), Some((id, handle)));
                 true
             }
         }
@@ -146,7 +152,7 @@ impl VendorGles {
 
     /// The context current on `tid`, if any.
     pub fn current_context_id(&self, tid: SimTid) -> Option<ContextId> {
-        self.current.lock().get(&tid.as_u64()).copied()
+        self.current.get(tid.as_u64()).map(|(id, _)| id)
     }
 
     /// Runs `f` against the context current on `tid`. This is how every GL
@@ -161,11 +167,10 @@ impl VendorGles {
         f: impl FnOnce(&mut GlesContext) -> R,
     ) -> R {
         self.charge(GL_CALL_BASE_NS);
-        let handle = self
-            .current_context_id(tid)
-            .and_then(|id| self.context(id));
-        match handle {
-            Some(ctx) => f(&mut ctx.lock()),
+        // One dense-slot read resolves both the binding and the context
+        // handle; no shared map lock on the dispatch path.
+        match self.current.get(tid.as_u64()) {
+            Some((_, ctx)) => f(&mut ctx.lock()),
             None => {
                 self.calls_without_context.fetch_add(1, Ordering::Relaxed);
                 R::default()
@@ -370,7 +375,7 @@ impl fmt::Debug for VendorGles {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("VendorGles")
             .field("flavor", &self.flavor)
-            .field("contexts", &self.contexts.lock().len())
+            .field("contexts", &self.contexts.len())
             .finish()
     }
 }

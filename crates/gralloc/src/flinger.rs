@@ -10,8 +10,11 @@
 //! same-format layer is one `copy_from_slice` per row under a single lock
 //! pair, which is what a full-screen post onto the RGBA scanout hits.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use cycada_gpu::{raster::Rect, DrawClass, GpuDevice, Image};
 use cycada_kernel::Display;
@@ -19,15 +22,27 @@ use cycada_kernel::Display;
 use crate::buffer::GraphicBuffer;
 
 /// The compositor for one display.
+///
+/// When several app sessions share a device, each window surface's buffers
+/// can be assigned a **layer rectangle** ([`SurfaceFlinger::assign_layer`]);
+/// posts of those buffers then compose into their rectangle instead of
+/// covering the panel, so concurrent apps produce a deterministic scanout
+/// (each owns disjoint pixels). Buffers with no assigned layer keep the
+/// historical full-screen behaviour, byte-identical to a solo app.
 pub struct SurfaceFlinger {
     display: Display,
     gpu: Arc<GpuDevice>,
+    layers: Mutex<HashMap<u64, Rect>>,
 }
 
 impl SurfaceFlinger {
     /// Creates a compositor for `display`, using `gpu` for composition.
     pub fn new(display: Display, gpu: Arc<GpuDevice>) -> Self {
-        SurfaceFlinger { display, gpu }
+        SurfaceFlinger {
+            display,
+            gpu,
+            layers: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The display being composed to.
@@ -56,9 +71,32 @@ impl SurfaceFlinger {
         self.display.frame_presented();
     }
 
-    /// Posts a client GraphicBuffer (the HW Composer layer path).
+    /// Assigns a destination rectangle to a buffer handle: subsequent
+    /// posts of that buffer compose into the rectangle rather than
+    /// covering the panel.
+    pub fn assign_layer(&self, handle: u64, rect: Rect) {
+        self.layers.lock().insert(handle, rect);
+    }
+
+    /// Removes a buffer handle's layer assignment (posts become
+    /// full-screen again).
+    pub fn clear_layer(&self, handle: u64) {
+        self.layers.lock().remove(&handle);
+    }
+
+    /// The layer rectangle assigned to a buffer handle, if any.
+    pub fn layer_rect(&self, handle: u64) -> Option<Rect> {
+        self.layers.lock().get(&handle).copied()
+    }
+
+    /// Posts a client GraphicBuffer (the HW Composer layer path). If the
+    /// buffer has an assigned layer rectangle, it composes there;
+    /// otherwise it covers the panel.
     pub fn post_buffer(&self, buffer: &GraphicBuffer) {
-        self.post_image(buffer.image());
+        match self.layer_rect(buffer.handle()) {
+            Some(rect) => self.composite(&[(buffer.image(), rect)]),
+            None => self.post_image(buffer.image()),
+        }
     }
 
     /// Composites several layers back-to-front, then latches one frame.
@@ -125,6 +163,25 @@ mod tests {
         buf.image().fill(Rgba::BLUE);
         sf.post_buffer(&buf);
         assert_eq!(sf.display().pixel(0, 0), [0, 0, 255, 255]);
+    }
+
+    #[test]
+    fn post_buffer_with_layer_composes_into_rect() {
+        let sf = flinger();
+        let whole = Image::new(8, 8, PixelFormat::Rgba8888);
+        whole.fill(Rgba::WHITE);
+        sf.post_image(&whole);
+        let buf = GraphicBuffer::new(7, 4, 4, PixelFormat::Rgba8888).unwrap();
+        buf.image().fill(Rgba::RED);
+        sf.assign_layer(buf.handle(), Rect { x: 4, y: 0, w: 4, h: 4 });
+        sf.post_buffer(&buf);
+        assert_eq!(sf.display().pixel(5, 1), [255, 0, 0, 255], "inside layer");
+        assert_eq!(sf.display().pixel(1, 1), [255, 255, 255, 255], "outside untouched");
+        assert_eq!(sf.display().frames_presented(), 2);
+        sf.clear_layer(buf.handle());
+        assert_eq!(sf.layer_rect(buf.handle()), None);
+        sf.post_buffer(&buf);
+        assert_eq!(sf.display().pixel(1, 7), [255, 0, 0, 255], "full-screen again");
     }
 
     #[test]

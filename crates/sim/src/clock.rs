@@ -1,10 +1,21 @@
 //! The virtual nanosecond clock all simulated costs are charged to.
 
+use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::Nanos;
+
+thread_local! {
+    /// Total virtual nanoseconds charged *by this host thread*, across all
+    /// clocks. Because every simulated call runs synchronously on the host
+    /// thread that issued it (raster worker threads compute pixels but the
+    /// caller charges their cost), this ledger attributes costs exactly,
+    /// independent of how concurrent sessions interleave on the shared
+    /// device clock.
+    static THREAD_CHARGED_NS: Cell<Nanos> = const { Cell::new(0) };
+}
 
 /// A monotonically increasing virtual clock measured in nanoseconds.
 ///
@@ -46,6 +57,7 @@ impl VirtualClock {
 
     /// Advances the clock by `ns` nanoseconds, returning the new time.
     pub fn charge_ns(&self, ns: Nanos) -> Nanos {
+        THREAD_CHARGED_NS.with(|c| c.set(c.get() + ns));
         self.ns.fetch_add(ns, Ordering::Relaxed) + ns
     }
 
@@ -67,6 +79,19 @@ impl VirtualClock {
     /// Returns `true` if two handles refer to the same underlying clock.
     pub fn same_clock(&self, other: &VirtualClock) -> bool {
         Arc::ptr_eq(&self.ns, &other.ns)
+    }
+
+    /// Total virtual nanoseconds charged by the calling host thread, across
+    /// all clocks, since the thread started.
+    pub fn thread_charged_ns() -> Nanos {
+        THREAD_CHARGED_NS.with(Cell::get)
+    }
+
+    /// Starts a span that measures only charges made *by the calling host
+    /// thread* — immune to concurrent charges from other threads sharing
+    /// this clock. The span must be read on the thread that created it.
+    pub fn thread_span(&self) -> ThreadSpan {
+        ThreadSpan { start: Self::thread_charged_ns() }
     }
 }
 
@@ -106,6 +131,126 @@ impl ClockGuard {
     /// The virtual time at which this span started.
     pub fn start_ns(&self) -> Nanos {
         self.start
+    }
+}
+
+/// A span over the calling thread's charge ledger: measures virtual time
+/// charged by this host thread alone, regardless of what other threads
+/// charge to a shared clock in the meantime.
+///
+/// # Examples
+///
+/// ```
+/// use cycada_sim::VirtualClock;
+///
+/// let clock = VirtualClock::new();
+/// let span = clock.thread_span();
+/// clock.charge_ns(42);
+/// assert_eq!(span.elapsed_ns(), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadSpan {
+    start: Nanos,
+}
+
+impl ThreadSpan {
+    /// Virtual nanoseconds charged by this thread since the span started.
+    pub fn elapsed_ns(&self) -> Nanos {
+        VirtualClock::thread_charged_ns().saturating_sub(self.start)
+    }
+}
+
+/// An accumulator of virtual time attributed to one *session* (or any other
+/// scope) across host threads.
+///
+/// A meter is entered on the thread about to drive simulated work; the guard
+/// snapshots the thread's charge ledger and, when dropped, credits the delta
+/// to the meter. Because charges are attributed per host thread, the metered
+/// total for a session is identical whether it runs solo or interleaved with
+/// other sessions on the same shared device clock.
+///
+/// Guards of *different* meters may nest (both accumulate the inner charges);
+/// re-entering the *same* meter while a guard is live on the same thread
+/// would double-count and must be avoided by the caller.
+///
+/// # Examples
+///
+/// ```
+/// use cycada_sim::{SessionMeter, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// let meter = SessionMeter::new();
+/// {
+///     let _scope = meter.enter();
+///     clock.charge_ns(30);
+/// }
+/// clock.charge_ns(99); // outside the scope: not metered
+/// assert_eq!(meter.total_ns(), 30);
+/// ```
+#[derive(Clone, Default)]
+pub struct SessionMeter {
+    ns: Arc<AtomicU64>,
+}
+
+impl SessionMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total virtual nanoseconds credited to this meter so far.
+    pub fn total_ns(&self) -> Nanos {
+        self.ns.load(Ordering::Relaxed)
+    }
+
+    /// Credits `ns` nanoseconds directly.
+    pub fn add_ns(&self, ns: Nanos) {
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Enters the meter on the calling thread; the returned guard credits
+    /// everything this thread charges until it is dropped.
+    pub fn enter(&self) -> MeterGuard {
+        MeterGuard {
+            meter: self.clone(),
+            start: VirtualClock::thread_charged_ns(),
+        }
+    }
+
+    /// Returns `true` if two handles refer to the same meter.
+    pub fn same_meter(&self, other: &SessionMeter) -> bool {
+        Arc::ptr_eq(&self.ns, &other.ns)
+    }
+}
+
+impl fmt::Debug for SessionMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionMeter")
+            .field("total_ns", &self.total_ns())
+            .finish()
+    }
+}
+
+/// Live scope of a [`SessionMeter`] on one host thread. Dropping the guard
+/// credits the thread's charges made during the scope to the meter.
+#[must_use = "the meter only accumulates while the guard is alive"]
+#[derive(Debug)]
+pub struct MeterGuard {
+    meter: SessionMeter,
+    start: Nanos,
+}
+
+impl MeterGuard {
+    /// Nanoseconds charged by this thread since the scope opened (not yet
+    /// credited to the meter — that happens on drop).
+    pub fn pending_ns(&self) -> Nanos {
+        VirtualClock::thread_charged_ns().saturating_sub(self.start)
+    }
+}
+
+impl Drop for MeterGuard {
+    fn drop(&mut self) {
+        self.meter.add_ns(VirtualClock::thread_charged_ns().saturating_sub(self.start));
     }
 }
 
@@ -156,6 +301,94 @@ mod tests {
         assert_eq!(span.start_ns(), 100);
         clock.charge_ns(50);
         assert_eq!(span.elapsed_ns(), 50);
+    }
+
+    #[test]
+    fn thread_span_ignores_other_threads() {
+        let clock = VirtualClock::new();
+        let span = clock.thread_span();
+        clock.charge_ns(10);
+        let c = clock.clone();
+        thread::spawn(move || c.charge_ns(1_000_000)).join().unwrap();
+        clock.charge_ns(5);
+        assert_eq!(span.elapsed_ns(), 15, "only this thread's charges count");
+        assert_eq!(clock.now_ns(), 1_000_015, "global clock sees everything");
+    }
+
+    #[test]
+    fn thread_span_covers_all_clocks_on_thread() {
+        let a = VirtualClock::new();
+        let b = VirtualClock::new();
+        let span = a.thread_span();
+        a.charge_ns(3);
+        b.charge_ns(4);
+        assert_eq!(span.elapsed_ns(), 7);
+    }
+
+    #[test]
+    fn meter_credits_scoped_charges_only() {
+        let clock = VirtualClock::new();
+        let meter = SessionMeter::new();
+        clock.charge_ns(100);
+        {
+            let guard = meter.enter();
+            clock.charge_ns(30);
+            assert_eq!(guard.pending_ns(), 30);
+            assert_eq!(meter.total_ns(), 0, "credited only on drop");
+        }
+        clock.charge_ns(50);
+        assert_eq!(meter.total_ns(), 30);
+        {
+            let _guard = meter.enter();
+            clock.charge_ns(12);
+        }
+        assert_eq!(meter.total_ns(), 42, "scopes accumulate");
+    }
+
+    #[test]
+    fn meter_totals_independent_of_interleaving() {
+        let clock = VirtualClock::new();
+        let meters: Vec<SessionMeter> = (0..4).map(|_| SessionMeter::new()).collect();
+        let handles: Vec<_> = meters
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let clock = clock.clone();
+                let meter = m.clone();
+                thread::spawn(move || {
+                    let _scope = meter.enter();
+                    for _ in 0..1000 {
+                        clock.charge_ns(i as Nanos + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, m) in meters.iter().enumerate() {
+            assert_eq!(m.total_ns(), 1000 * (i as Nanos + 1));
+        }
+        assert_eq!(clock.now_ns(), 1000 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn nested_distinct_meters_both_accumulate() {
+        let clock = VirtualClock::new();
+        let outer = SessionMeter::new();
+        let inner = SessionMeter::new();
+        assert!(!outer.same_meter(&inner));
+        {
+            let _o = outer.enter();
+            clock.charge_ns(5);
+            {
+                let _i = inner.enter();
+                clock.charge_ns(7);
+            }
+            clock.charge_ns(2);
+        }
+        assert_eq!(outer.total_ns(), 14);
+        assert_eq!(inner.total_ns(), 7);
     }
 
     #[test]

@@ -38,10 +38,11 @@ mod clock;
 pub mod intern;
 mod profile;
 mod rng;
+pub mod slots;
 pub mod stats;
 
 pub use buffer::{BufferId, BufferReadGuard, BufferWriteGuard, SharedBuffer};
-pub use clock::{ClockGuard, VirtualClock};
+pub use clock::{ClockGuard, MeterGuard, SessionMeter, ThreadSpan, VirtualClock};
 pub use profile::{CpuClass, DeviceProfile, GpuCostModel, Persona, Platform};
 pub use rng::SimRng;
 
