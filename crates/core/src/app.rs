@@ -19,7 +19,7 @@ use cycada_gles::{
 use cycada_gpu::math::Mat4;
 use cycada_gpu::Image;
 use cycada_kernel::{Display, SimTid};
-use cycada_sim::{stats::FunctionStats, Nanos, Platform, VirtualClock};
+use cycada_sim::{stats::FunctionStats, trace, Nanos, Platform, VirtualClock};
 
 use crate::eagl::EaglContextId;
 use crate::error::CycadaError;
@@ -474,6 +474,51 @@ impl AppGl {
     /// meaningful on Cycada iOS.
     pub fn session_stats(&self) -> Option<FunctionStats> {
         self.cycada_session().map(|s| s.stats().clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Trace plane (cycada_sim::trace)
+    // ------------------------------------------------------------------
+
+    /// Starts a fresh trace capture: clears previously buffered events and
+    /// enables recording process-wide. Tracing never touches the virtual
+    /// clock, so figures and session accounting are unaffected.
+    pub fn trace_begin(&self) {
+        trace::clear();
+        trace::set_enabled(true);
+    }
+
+    /// Whether trace recording is currently enabled.
+    pub fn trace_enabled(&self) -> bool {
+        trace::enabled()
+    }
+
+    /// Stops recording and drains the capture as Chrome `trace_event`
+    /// JSON (load in `chrome://tracing` or Perfetto).
+    pub fn trace_end_json(&self) -> String {
+        trace::set_enabled(false);
+        trace::chrome_trace_json(&trace::drain())
+    }
+
+    /// Stops recording and drains the capture as a plain-text per-function
+    /// summary (call counts, total virtual and wall time per event name).
+    pub fn trace_end_summary(&self) -> String {
+        trace::set_enabled(false);
+        trace::summary(&trace::drain())
+    }
+
+    /// Marks a point in the capture from app code (recorded only while
+    /// tracing is enabled).
+    pub fn trace_mark(&self, name: &'static str, arg: u64) {
+        trace::instant(trace::Category::App, name, arg);
+    }
+
+    /// Current values of every trace counter, in declaration order. The
+    /// failure/lifecycle counters (swallowed impersonation-drop errors,
+    /// row-bytes teardown skips, replica loads, EGL lifecycle, presents)
+    /// count even while tracing is disabled.
+    pub fn trace_counters(&self) -> Vec<(&'static str, u64)> {
+        trace::counters()
     }
 
     /// The app's framebuffer object on the iOS paths (EAGL renders

@@ -33,7 +33,7 @@ use cycada_gles::{
 };
 use cycada_gpu::math::Mat4;
 use cycada_kernel::SimTid;
-use cycada_sim::fn_id;
+use cycada_sim::{fn_id, trace};
 
 
 use crate::error::CycadaError;
@@ -852,9 +852,20 @@ impl Drop for GlesBridge {
         // other threads' entries for it are evicted lazily on their next
         // insert (they can no longer match a live instance).
         live_bridges().lock().remove(&self.instance);
-        let _ = ROW_BYTES.try_with(|state| {
-            state.borrow_mut().retain(|((inst, _), _)| *inst != self.instance);
-        });
+        if ROW_BYTES
+            .try_with(|state| {
+                state.borrow_mut().retain(|((inst, _), _)| *inst != self.instance);
+            })
+            .is_err()
+        {
+            // The bridge is dropping during this thread's TLS teardown:
+            // ROW_BYTES is already destroyed and the eager eviction cannot
+            // run. That is safe (other threads evict stale entries lazily)
+            // but must not be invisible — count the skip so leaked scan
+            // entries are observable.
+            trace::bump(trace::Counter::RowBytesTeardownSkips);
+            trace::instant(trace::Category::Bridge, "row_bytes_teardown_skip", self.instance);
+        }
     }
 }
 
@@ -969,6 +980,38 @@ mod tests {
         assert!(has_entry());
         drop(device);
         assert!(!has_entry(), "Drop evicts the dropping thread's entries");
+    }
+
+    #[test]
+    fn bridge_drop_during_thread_exit_counts_row_bytes_skip() {
+        thread_local! {
+            static HOLDER: RefCell<Option<crate::process::CycadaDevice>> =
+                const { RefCell::new(None) };
+        }
+        let before = trace::counter(trace::Counter::RowBytesTeardownSkips);
+        std::thread::spawn(|| {
+            // Register HOLDER's TLS destructor BEFORE first touching
+            // ROW_BYTES: destructors run in reverse registration order
+            // (__cxa_thread_atexit is LIFO), so at thread exit ROW_BYTES
+            // is destroyed first and the bridge Drop inside HOLDER's
+            // destructor must take the skip path.
+            HOLDER.with(|h| assert!(h.borrow().is_none()));
+            let device =
+                crate::process::CycadaDevice::boot_with_display(Some((4, 4))).unwrap();
+            let tid = device.main_tid();
+            device
+                .bridge()
+                .pixel_storei(tid, PixelStoreParam::UnpackRowBytesApple, 64)
+                .unwrap();
+            HOLDER.with(|h| *h.borrow_mut() = Some(device));
+            // The thread exits with the device still held in TLS.
+        })
+        .join()
+        .expect("bridge drop during TLS teardown must not panic");
+        assert!(
+            trace::counter(trace::Counter::RowBytesTeardownSkips) > before,
+            "the skipped ROW_BYTES eviction must be visible via the trace counter"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use cycada_egl::{AndroidEgl, EglContextId, EglSurfaceId, McConnectionId};
 use cycada_gles::GlesVersion;
 use cycada_iosurface::{IOSurface, SurfaceProps};
 use cycada_kernel::SimTid;
+use cycada_sim::trace;
 
 use crate::bridge::GlesBridge;
 use crate::egl_bridge::EglBridge;
@@ -271,6 +272,8 @@ impl Eagl {
     ///
     /// Returns [`CycadaError::Eagl`] if the context has no drawable.
     pub fn present_renderbuffer(&self, tid: SimTid, ctx: EaglContextId) -> Result<()> {
+        let _tspan = trace::span(trace::Category::Eagl, "presentRenderbuffer:");
+        trace::bump(trace::Counter::EaglPresents);
         let (window_surface, drawable_image, staging) = {
             let contexts = self.contexts.lock();
             let record = contexts

@@ -6,7 +6,7 @@ use std::sync::{Arc, OnceLock};
 
 use cycada_kernel::{bsd_errno_from_linux, Kernel, SimTid};
 use cycada_linker::{DynamicLinker, SymbolAddr};
-use cycada_sim::{intern::FnId, stats::FunctionStats, Nanos, Persona};
+use cycada_sim::{intern::FnId, stats::FunctionStats, trace, Nanos, Persona};
 
 use crate::tls::GraphicsTls;
 use crate::Result;
@@ -269,6 +269,16 @@ impl DiplomatEngine {
         // host threads mid-call, and recording that would make per-call
         // figures depend on interleaving.
         let span = clock.thread_span();
+        // One relaxed load when tracing is off; when on, the span records
+        // the whole 11-step procedure with the diplomat's name, pattern,
+        // and this thread's wall/virtual durations. The per-call counters
+        // are gated on the span so the disabled path has zero shared
+        // atomic traffic.
+        let mut tspan = trace::span(trace::Category::Diplomat, entry.name());
+        if tspan.is_active() {
+            tspan.set_arg(entry.pattern as u64);
+            trace::bump(trace::Counter::DiplomatCalls);
+        }
         entry.calls.fetch_add(1, Ordering::Relaxed);
 
         // (1) Lazy symbol resolution, cached for efficient reuse.
@@ -295,6 +305,9 @@ impl DiplomatEngine {
 
         // (4) set_persona: foreign -> domestic.
         self.kernel.set_persona(tid, self.domestic)?;
+        if tspan.is_active() {
+            trace::bump(trace::Counter::PersonaSwitches);
+        }
 
         // (5) Arguments restored; (6) direct invocation via the stored
         // symbol.
@@ -306,6 +319,9 @@ impl DiplomatEngine {
 
         // (8) set_persona: domestic -> foreign.
         self.kernel.set_persona(tid, self.foreign)?;
+        if tspan.is_active() {
+            trace::bump(trace::Counter::PersonaSwitches);
+        }
 
         // (9) Domestic TLS values (errno) converted into the foreign area.
         clock.charge_ns(ERRNO_CONVERT_NS);

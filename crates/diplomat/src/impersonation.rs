@@ -14,7 +14,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use cycada_kernel::{SimTid, TlsValue};
-use cycada_sim::Persona;
+use cycada_sim::{trace, Persona};
 
 use crate::engine::DiplomatEngine;
 use crate::error::DiplomatError;
@@ -65,6 +65,12 @@ impl DiplomatEngine {
             slots_arr[persona.index()] = slots;
             saved_arr[persona.index()] = saved;
         }
+        trace::bump(trace::Counter::ImpersonationsBegun);
+        trace::instant(
+            trace::Category::Impersonation,
+            "impersonation_begin",
+            running.as_u64(),
+        );
         Ok(ImpersonationGuard {
             engine: self.clone(),
             running,
@@ -93,28 +99,50 @@ impl ImpersonationGuard {
         }
         self.finished = true;
         let kernel = self.engine.kernel();
+        // A failing step must not abort the rest of the teardown: the
+        // running thread must never be left wearing another thread's TLS
+        // in *any* persona. Attempt the target write-back and the
+        // self-restore for every persona, collect failures, report the
+        // first. (A dead target fails only the write-back; the running
+        // thread's own restore still succeeds.)
+        let mut first_err: Option<DiplomatError> = None;
         for persona in Persona::ALL {
             let slots = &self.slots[persona.index()];
             // (4) Updates made while impersonating are reflected back into
             // the TLS associated with the GLES context (the target thread).
-            let current = kernel
+            let write_back = kernel
                 .locate_tls(self.running, self.running, persona, slots)
-                .map_err(migration_err)?;
-            kernel
-                .propagate_tls(self.running, self.target, persona, slots, &current)
-                .map_err(migration_err)?;
-            // (5) Restore the running thread's original graphics TLS.
-            kernel
-                .propagate_tls(
-                    self.running,
-                    self.running,
-                    persona,
-                    slots,
-                    &self.saved[persona.index()],
-                )
-                .map_err(migration_err)?;
+                .and_then(|current| {
+                    kernel.propagate_tls(self.running, self.target, persona, slots, &current)
+                });
+            if let Err(e) = write_back {
+                first_err.get_or_insert_with(|| migration_err(e));
+            }
+            // (5) Restore the running thread's original graphics TLS —
+            // unconditionally, even after a failed write-back.
+            let restore = kernel.propagate_tls(
+                self.running,
+                self.running,
+                persona,
+                slots,
+                &self.saved[persona.index()],
+            );
+            if let Err(e) = restore {
+                first_err.get_or_insert_with(|| migration_err(e));
+            }
         }
-        Ok(())
+        match first_err {
+            None => {
+                trace::bump(trace::Counter::ImpersonationsFinished);
+                trace::instant(
+                    trace::Category::Impersonation,
+                    "impersonation_finish",
+                    self.running.as_u64(),
+                );
+                Ok(())
+            }
+            Some(e) => Err(e),
+        }
     }
 
     /// Ends the impersonation: writes updates back to the target and
@@ -130,8 +158,18 @@ impl ImpersonationGuard {
 
 impl Drop for ImpersonationGuard {
     fn drop(&mut self) {
-        // Best effort; failures here mean a thread already exited.
-        let _ = self.end();
+        // Best effort; failures here mean a thread already exited. There
+        // is no caller to report to, so the error is counted (always, even
+        // with tracing off) and recorded as a trace event — each swallowed
+        // error is a thread that may have run with partially foreign TLS.
+        if self.end().is_err() {
+            trace::bump(trace::Counter::ImpersonationDropSwallowedErrors);
+            trace::instant(
+                trace::Category::Impersonation,
+                "impersonation_drop_swallowed",
+                self.running.as_u64(),
+            );
+        }
     }
 }
 
@@ -239,6 +277,56 @@ mod tests {
             engine.impersonate(running, target),
             Err(DiplomatError::TlsMigration(_))
         ));
+    }
+
+    #[test]
+    fn end_restores_every_persona_when_target_dies_mid_guard() {
+        let (kernel, engine, running, target) = setup();
+        engine.graphics_tls().register_well_known(Persona::Ios, 11);
+        engine.graphics_tls().register_well_known(Persona::Android, 10);
+        kernel.tls_set_raw(running, Persona::Ios, 11, Some(0x222)).unwrap();
+        kernel.tls_set_raw(running, Persona::Android, 10, Some(0x111)).unwrap();
+
+        let guard = engine.impersonate(running, target).unwrap();
+        // The target exits mid-guard: the persona-iOS write-back (the
+        // first teardown step) now fails with NoSuchThread.
+        kernel.exit_thread(target).unwrap();
+        let err = guard.finish();
+        assert!(matches!(err, Err(DiplomatError::TlsMigration(_))));
+        // Despite the iOS-persona error, the running thread's own TLS must
+        // be restored in BOTH personas — the old `end` returned at the
+        // first failure and left everything after it foreign.
+        assert_eq!(
+            kernel.tls_get_raw(running, Persona::Ios, 11).unwrap(),
+            Some(0x222),
+            "iOS persona restored after its own write-back failed"
+        );
+        assert_eq!(
+            kernel.tls_get_raw(running, Persona::Android, 10).unwrap(),
+            Some(0x111),
+            "Android persona still restored after the iOS persona errored"
+        );
+    }
+
+    #[test]
+    fn drop_with_dead_target_counts_swallowed_error() {
+        let (kernel, engine, running, target) = setup();
+        engine.graphics_tls().register_well_known(Persona::Android, 10);
+        kernel.tls_set_raw(running, Persona::Android, 10, Some(0x42)).unwrap();
+        let before = trace::counter(trace::Counter::ImpersonationDropSwallowedErrors);
+        {
+            let _guard = engine.impersonate(running, target).unwrap();
+            kernel.exit_thread(target).unwrap();
+        } // drop: write-back fails, error has nowhere to go
+        assert!(
+            trace::counter(trace::Counter::ImpersonationDropSwallowedErrors) > before,
+            "swallowed drop error must be observable via the trace counter"
+        );
+        // And the running thread still got its own TLS back.
+        assert_eq!(
+            kernel.tls_get_raw(running, Persona::Android, 10).unwrap(),
+            Some(0x42)
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use cycada_gpu::{Image, PixelFormat};
 use cycada_gralloc::{GraphicBuffer, GraphicBufferAllocator, SurfaceFlinger};
 use cycada_kernel::{Kernel, Persona, SimTid, TlsKey};
 use cycada_linker::DynamicLinker;
+use cycada_sim::trace;
 
 use crate::error::EglError;
 use crate::loadout::{VENDOR_EGL_LIB, VENDOR_GLES_LIB};
@@ -205,6 +206,8 @@ impl AndroidEgl {
                 surface: None,
             },
         );
+        trace::bump(trace::Counter::EglContextsCreated);
+        trace::instant(trace::Category::Egl, "eglCreateContext", u64::from(id));
         Ok(id)
     }
 
@@ -223,6 +226,8 @@ impl AndroidEgl {
             gles.destroy_context(record.vendor_ctx);
         }
         self.current.lock().retain(|_, c| *c != ctx);
+        trace::bump(trace::Counter::EglContextsDestroyed);
+        trace::instant(trace::Category::Egl, "eglDestroyContext", u64::from(ctx));
         Ok(())
     }
 
@@ -292,6 +297,8 @@ impl AndroidEgl {
         self.surfaces
             .lock()
             .insert(id, SurfaceRecord { front, back });
+        trace::bump(trace::Counter::EglSurfacesCreated);
+        trace::instant(trace::Category::Egl, "eglCreateWindowSurface", u64::from(id));
         Ok(id)
     }
 
@@ -310,6 +317,8 @@ impl AndroidEgl {
         self.flinger.clear_layer(record.back.handle());
         let _ = self.allocator.free(tid, record.front.handle());
         let _ = self.allocator.free(tid, record.back.handle());
+        trace::bump(trace::Counter::EglSurfacesDestroyed);
+        trace::instant(trace::Category::Egl, "eglDestroySurface", u64::from(surface));
         Ok(())
     }
 
@@ -458,6 +467,7 @@ impl AndroidEgl {
     ///
     /// Returns [`EglError::BadSurface`] for unknown handles.
     pub fn swap_buffers(&self, tid: SimTid, surface: EglSurfaceId) -> Result<()> {
+        let _tspan = trace::span(trace::Category::Egl, "eglSwapBuffers");
         let new_back = {
             let mut surfaces = self.surfaces.lock();
             let record = surfaces.get_mut(&surface).ok_or(EglError::BadSurface)?;

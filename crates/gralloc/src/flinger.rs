@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 
 use cycada_gpu::{raster::Rect, DrawClass, GpuDevice, Image};
 use cycada_kernel::Display;
+use cycada_sim::trace;
 
 use crate::buffer::GraphicBuffer;
 
@@ -53,6 +54,8 @@ impl SurfaceFlinger {
     /// Posts a full-screen image to the display (the swap-buffers path):
     /// scales/converts the image onto the scanout and latches the frame.
     pub fn post_image(&self, image: &Image) {
+        let _tspan = trace::span(trace::Category::Gralloc, "flinger_post_image");
+        trace::bump(trace::Counter::Compositions);
         let scanout = Image::from_buffer(
             self.display.width(),
             self.display.height(),
@@ -102,6 +105,9 @@ impl SurfaceFlinger {
     /// Composites several layers back-to-front, then latches one frame.
     /// Each layer is placed at its destination rectangle.
     pub fn composite(&self, layers: &[(&Image, Rect)]) {
+        let mut tspan = trace::span(trace::Category::Gralloc, "flinger_composite");
+        tspan.set_arg(layers.len() as u64);
+        trace::bump(trace::Counter::Compositions);
         let scanout = Image::from_buffer(
             self.display.width(),
             self.display.height(),

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use cycada_gpu::Image;
 use cycada_kernel::{IpcMessage, Kernel, SimTid};
-use cycada_sim::SharedBuffer;
+use cycada_sim::{trace, SharedBuffer};
 
 use crate::error::IoSurfaceError;
 use crate::service::{
@@ -163,6 +163,8 @@ impl IOSurfaceApi {
     ///
     /// Returns [`IoSurfaceError::Kernel`] for dead IDs.
     pub fn lock(&self, tid: SimTid, surface: &IOSurface) -> Result<u64> {
+        trace::bump(trace::Counter::IoSurfaceLocks);
+        trace::instant(trace::Category::IoSurface, "IOSurfaceLock", surface.id);
         let reply = self.call(tid, IpcMessage::new(SEL_LOCK, [surface.id]))?;
         reply.word(0).map_err(IoSurfaceError::from)
     }
@@ -173,6 +175,8 @@ impl IOSurfaceApi {
     ///
     /// Returns [`IoSurfaceError::Kernel`] for unbalanced unlocks.
     pub fn unlock(&self, tid: SimTid, surface: &IOSurface) -> Result<u64> {
+        trace::bump(trace::Counter::IoSurfaceUnlocks);
+        trace::instant(trace::Category::IoSurface, "IOSurfaceUnlock", surface.id);
         let reply = self.call(tid, IpcMessage::new(SEL_UNLOCK, [surface.id]))?;
         reply.word(0).map_err(IoSurfaceError::from)
     }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use cycada_sim::{Nanos, VirtualClock};
+use cycada_sim::{trace, Nanos, VirtualClock};
 
 use crate::error::LinkerError;
 use crate::image::LibraryImage;
@@ -64,6 +64,8 @@ impl Replica {
     /// Returns [`LinkerError::LibraryNotFound`] if `name` is not part of
     /// this replica's tree.
     pub fn dlopen(&self, name: &str) -> Result<Arc<LoadedLibrary>> {
+        trace::bump(trace::Counter::NamespacedDlopens);
+        trace::instant(trace::Category::Linker, "replica_dlopen", self.id.0);
         self.libs
             .get(name)
             .cloned()
@@ -77,6 +79,8 @@ impl Replica {
     /// Returns [`LinkerError::SymbolNotFound`] if no library in the replica
     /// exports `symbol`.
     pub fn dlsym(&self, symbol: &str) -> Result<SymbolAddr> {
+        trace::bump(trace::Counter::NamespacedDlsyms);
+        trace::instant(trace::Category::Linker, "replica_dlsym", self.id.0);
         self.root
             .symbol(symbol)
             .ok_or_else(|| LinkerError::SymbolNotFound {
@@ -254,6 +258,7 @@ impl DynamicLinker {
     /// Returns [`LinkerError::LibraryNotFound`] or
     /// [`LinkerError::CircularDependency`].
     pub fn dlforce(&self, name: &str) -> Result<Replica> {
+        let mut tspan = trace::span(trace::Category::Linker, "dlforce");
         let mut replica_libs: HashMap<String, Arc<LoadedLibrary>> = HashMap::new();
         let root = self.load_tree(
             name,
@@ -265,6 +270,8 @@ impl DynamicLinker {
             replica_libs.insert(lib.name().to_owned(), lib);
         }
         let id = ReplicaId(self.next_replica.fetch_add(1, Ordering::Relaxed));
+        trace::bump(trace::Counter::ReplicaLoads);
+        tspan.set_arg(id.0);
         let replica = Replica {
             id,
             root,

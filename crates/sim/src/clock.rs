@@ -187,15 +187,33 @@ impl ThreadSpan {
 /// clock.charge_ns(99); // outside the scope: not metered
 /// assert_eq!(meter.total_ns(), 30);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct SessionMeter {
     ns: Arc<AtomicU64>,
+    /// Process-unique id stamped onto trace events recorded inside this
+    /// meter's scopes (see [`crate::trace`]). Clones share it.
+    trace_id: u64,
+}
+
+impl Default for SessionMeter {
+    fn default() -> Self {
+        static NEXT_METER_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+        SessionMeter {
+            ns: Arc::new(AtomicU64::new(0)),
+            trace_id: NEXT_METER_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
 }
 
 impl SessionMeter {
     /// Creates an empty meter.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The id trace events use to attribute work to this meter's scope.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// Total virtual nanoseconds credited to this meter so far.
@@ -211,6 +229,7 @@ impl SessionMeter {
     /// Enters the meter on the calling thread; the returned guard credits
     /// everything this thread charges until it is dropped.
     pub fn enter(&self) -> MeterGuard {
+        crate::trace::push_meter_scope(self.trace_id);
         MeterGuard {
             meter: self.clone(),
             start: VirtualClock::thread_charged_ns(),
@@ -251,6 +270,7 @@ impl MeterGuard {
 impl Drop for MeterGuard {
     fn drop(&mut self) {
         self.meter.add_ns(VirtualClock::thread_charged_ns().saturating_sub(self.start));
+        crate::trace::pop_meter_scope();
     }
 }
 

@@ -40,6 +40,7 @@ mod profile;
 mod rng;
 pub mod slots;
 pub mod stats;
+pub mod trace;
 
 pub use buffer::{BufferId, BufferReadGuard, BufferWriteGuard, SharedBuffer};
 pub use clock::{ClockGuard, MeterGuard, SessionMeter, ThreadSpan, VirtualClock};

@@ -61,11 +61,14 @@ impl<T> SlotTable<T> {
     }
 
     fn slot(&self, id: u64) -> Option<&RwLock<Option<T>>> {
-        let idx = id as usize;
-        let chunk = idx / CHUNK;
-        if chunk >= MAX_CHUNKS {
+        // Bounds-check in u64 BEFORE narrowing: casting first would let
+        // ids above usize::MAX wrap (on 32-bit hosts id 2^32+3 would alias
+        // dense slot 3) and route overflow keys onto dense slots.
+        if id >= (CHUNK * MAX_CHUNKS) as u64 {
             return None;
         }
+        let idx = id as usize;
+        let chunk = idx / CHUNK;
         let slots = self.chunks[chunk].get_or_init(|| {
             (0..CHUNK).map(|_| RwLock::new(None)).collect()
         });
@@ -182,6 +185,83 @@ mod tests {
         t.set(CHUNK as u64, Some(2));
         t.set((3 * CHUNK) as u64 + 5, Some(3));
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn overflow_set_none_removes_instead_of_pinning() {
+        let dense_limit = (CHUNK * MAX_CHUNKS) as u64;
+        let t: SlotTable<u32> = SlotTable::new();
+        let id = dense_limit + 5;
+        assert_eq!(t.set(id, Some(1)), None);
+        assert_eq!(t.set(id, None), Some(1), "clearing returns the old value");
+        assert_eq!(t.get(id), None);
+        assert_eq!(
+            t.overflow.read().len(),
+            0,
+            "set(id, None) must remove the overflow entry, not pin a tombstone"
+        );
+    }
+
+    #[test]
+    fn dense_overflow_boundary_ids_do_not_alias() {
+        let dense_limit = (CHUNK * MAX_CHUNKS) as u64;
+        let t: SlotTable<u64> = SlotTable::new();
+        // The last dense id, the first overflow id, and ids that would
+        // alias dense slots if the bounds check narrowed before comparing
+        // (u32 wraparound: 2^32 + k lands on dense slot k).
+        let ids = [
+            0,
+            dense_limit - 1,
+            dense_limit,
+            dense_limit + 1,
+            (1u64 << 32),
+            (1u64 << 32) + 3,
+            u64::MAX,
+        ];
+        for &id in &ids {
+            assert_eq!(t.set(id, Some(id)), None, "id {id} collided with another");
+        }
+        for &id in &ids {
+            assert_eq!(t.get(id), Some(id), "id {id} read back its own value");
+        }
+        // Wraparound ids must not have landed in dense slots.
+        assert_eq!(t.get(3), None, "2^32+3 must not alias dense slot 3");
+        t.set((1u64 << 32) + 3, None);
+        assert_eq!(t.get((1u64 << 32) + 3), None);
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn concurrent_churn_across_dense_and_overflow() {
+        let dense_limit = (CHUNK * MAX_CHUNKS) as u64;
+        let t: Arc<SlotTable<u64>> = Arc::new(SlotTable::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let t = t.clone();
+                thread::spawn(move || {
+                    // Each thread churns one dense id and one overflow id,
+                    // interleaving inserts and removals.
+                    let dense_id = i;
+                    let over_id = dense_limit + 100 + i;
+                    for round in 0..500u64 {
+                        t.set(dense_id, Some(round));
+                        t.set(over_id, Some(round));
+                        assert_eq!(t.get(dense_id), Some(round));
+                        assert_eq!(t.get(over_id), Some(round));
+                        if round % 3 == 0 {
+                            assert_eq!(t.set(over_id, None), Some(round));
+                            assert_eq!(t.get(over_id), None);
+                        }
+                    }
+                    t.set(dense_id, None);
+                    t.set(over_id, None);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(t.is_empty(), "churn must leave no residue in either region");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use cycada_diplomat::{DiplomatEngine, DiplomatEntry, DiplomatError, DiplomatPatt
 use cycada_gles::GlesVersion;
 use cycada_kernel::{IpcMessage, IpcReply, Kernel, KernelError, KernelService, Persona, SimTid};
 use cycada_linker::DynamicLinker;
-use cycada_sim::Platform;
+use cycada_sim::{trace, Platform};
 
 fn device() -> CycadaDevice {
     CycadaDevice::boot_with_display(Some((64, 48))).unwrap()
@@ -227,6 +227,92 @@ fn impersonation_guard_drop_during_panic_restores_tls() {
             .tls_get_raw(worker, Persona::Android, 30)
             .unwrap(),
         Some(0x111)
+    );
+}
+
+// --------------------------------------------------------------------
+// Impersonation-under-thread-death matrix: either endpoint of a live
+// impersonation may die before teardown. Every cell must produce a clean
+// error (never a panic), leave surviving threads with their own TLS, and
+// make swallowed drop-path errors visible through the trace counter.
+// --------------------------------------------------------------------
+
+#[test]
+fn impersonation_target_exits_before_finish_restores_all_personas() {
+    let dev = device();
+    let main = dev.main_tid();
+    let worker = dev.spawn_ios_thread().unwrap();
+    let engine = dev.engine().clone();
+    engine.graphics_tls().register_well_known(Persona::Ios, 31);
+    engine.graphics_tls().register_well_known(Persona::Android, 30);
+    dev.kernel()
+        .tls_set_raw(worker, Persona::Ios, 31, Some(0xA))
+        .unwrap();
+    dev.kernel()
+        .tls_set_raw(worker, Persona::Android, 30, Some(0xB))
+        .unwrap();
+
+    let guard = engine.impersonate(worker, main).unwrap();
+    // The impersonated target dies before the guard finishes: the
+    // write-back of every persona fails, but finish must still restore
+    // the running thread's own TLS in both personas and report cleanly.
+    dev.kernel().exit_thread(main).unwrap();
+    let err = guard.finish();
+    assert!(matches!(err, Err(DiplomatError::TlsMigration(_))));
+    assert_eq!(
+        dev.kernel().tls_get_raw(worker, Persona::Ios, 31).unwrap(),
+        Some(0xA),
+        "iOS persona restored despite dead target"
+    );
+    assert_eq!(
+        dev.kernel()
+            .tls_get_raw(worker, Persona::Android, 30)
+            .unwrap(),
+        Some(0xB),
+        "Android persona restored despite dead target"
+    );
+}
+
+#[test]
+fn impersonation_running_thread_exits_finish_errors_cleanly() {
+    let dev = device();
+    let main = dev.main_tid();
+    let worker = dev.spawn_ios_thread().unwrap();
+    let engine = dev.engine().clone();
+    engine.graphics_tls().register_well_known(Persona::Android, 33);
+
+    let guard = engine.impersonate(worker, main).unwrap();
+    // The running (impersonating) thread itself dies: every teardown
+    // syscall fails, finish reports the first error without panicking.
+    dev.kernel().exit_thread(worker).unwrap();
+    assert!(matches!(
+        guard.finish(),
+        Err(DiplomatError::TlsMigration(_))
+    ));
+    // The device is still healthy: the target thread kept its own TLS and
+    // the engine serves fresh impersonations between live threads.
+    let other = dev.spawn_ios_thread().unwrap();
+    let g = engine.impersonate(other, main).unwrap();
+    g.finish().unwrap();
+}
+
+#[test]
+fn impersonation_dropped_guard_after_running_exit_counts_swallowed_error() {
+    let dev = device();
+    let main = dev.main_tid();
+    let worker = dev.spawn_ios_thread().unwrap();
+    let engine = dev.engine().clone();
+    engine.graphics_tls().register_well_known(Persona::Android, 34);
+    let before = trace::counter(trace::Counter::ImpersonationDropSwallowedErrors);
+    {
+        let _guard = engine.impersonate(worker, main).unwrap();
+        // Live guard dropped (not finished) after its running thread died:
+        // the restore error has no caller to reach.
+        dev.kernel().exit_thread(worker).unwrap();
+    }
+    assert!(
+        trace::counter(trace::Counter::ImpersonationDropSwallowedErrors) > before,
+        "the drop path must surface the swallowed error via the trace counter"
     );
 }
 
