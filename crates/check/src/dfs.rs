@@ -1,0 +1,228 @@
+//! Scheduling policies: bounded-exhaustive DFS with DPOR-lite sleep sets,
+//! seeded-random exploration, and token replay.
+
+use std::collections::BTreeSet;
+
+use cycada_sim::SimRng;
+use parking_lot::schedule::Event;
+
+use crate::exec::{Chooser, StepView};
+
+/// Two pending events are independent if reordering them cannot change the
+/// outcome: different objects, or a non-conflicting access pair on the
+/// same object. A finished thread (no pending event) is trivially
+/// independent of everything.
+fn independent(a: Option<Event>, b: Option<Event>) -> bool {
+    match (a, b) {
+        (Some(a), Some(b)) => a.obj != b.obj || !a.access.conflicts_with(b.access),
+        _ => true,
+    }
+}
+
+/// One decision point on the current DFS path. Persisted across
+/// executions; `enabled`/`events` are refreshed on every replay of the
+/// prefix because event object ids are addresses and differ between
+/// executions (thread indices and labels are stable).
+struct Node {
+    enabled: Vec<usize>,
+    events: Vec<Option<Event>>,
+    prev_running: Option<usize>,
+    preemptions_before: usize,
+    /// Threads whose next op from here was already covered by an explored
+    /// equivalent schedule (DPOR-lite sleep set): never re-chosen at this
+    /// node.
+    sleep: BTreeSet<usize>,
+    chosen: usize,
+}
+
+/// Iterative-replay depth-first exploration. Each execution replays the
+/// current prefix of forced choices, then extends it with the default
+/// policy (stay on the running thread when possible — preemptions are
+/// what the bound meters). [`DfsChooser::advance`] backtracks to the
+/// deepest node with an untried, non-sleeping, bound-feasible alternative.
+pub(crate) struct DfsChooser {
+    nodes: Vec<Node>,
+    prefix_len: usize,
+    preemption_bound: usize,
+    pub(crate) nondeterminism: Option<String>,
+}
+
+impl DfsChooser {
+    pub(crate) fn new(preemption_bound: usize) -> Self {
+        DfsChooser {
+            nodes: Vec::new(),
+            prefix_len: 0,
+            preemption_bound,
+            nondeterminism: None,
+        }
+    }
+
+    fn preemption_cost(prev_running: Option<usize>, choice: usize) -> usize {
+        usize::from(matches!(prev_running, Some(pr) if pr != choice))
+    }
+
+    /// Moves to the next unexplored prefix; `false` when the bounded tree
+    /// is exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        while let Some(depth) = self.nodes.len().checked_sub(1) {
+            let node = &mut self.nodes[depth];
+            // The just-finished choice is now fully explored from this
+            // node: its subtree need never be re-entered via a sibling.
+            node.sleep.insert(node.chosen);
+            let next = node
+                .enabled
+                .iter()
+                .copied()
+                .filter(|c| !node.sleep.contains(c))
+                .find(|&c| {
+                    node.preemptions_before + Self::preemption_cost(node.prev_running, c)
+                        <= self.preemption_bound
+                });
+            if let Some(c) = next {
+                node.chosen = c;
+                self.prefix_len = depth + 1;
+                return true;
+            }
+            self.nodes.pop();
+        }
+        false
+    }
+}
+
+impl Chooser for DfsChooser {
+    fn choose(&mut self, depth: usize, view: &StepView<'_>) -> Option<usize> {
+        if self.nondeterminism.is_some() {
+            return None;
+        }
+        if depth < self.prefix_len {
+            // Replaying the forced prefix: refresh per-execution data
+            // (object addresses change between executions) and verify the
+            // model is schedule-deterministic.
+            let node = &mut self.nodes[depth];
+            if node.enabled != view.enabled {
+                self.nondeterminism = Some(format!(
+                    "nondeterministic model: at step {depth} the enabled set was {:?} on a \
+                     previous execution but {:?} now — model state must depend only on the \
+                     schedule (the checker runs one warmup execution to absorb one-time \
+                     global caches; wall-clock or RNG dependence cannot be explored)",
+                    node.enabled, view.enabled
+                ));
+                return None;
+            }
+            node.events = view.events.to_vec();
+            node.prev_running = view.prev_running;
+            return Some(node.chosen);
+        }
+        debug_assert_eq!(depth, self.nodes.len());
+        let (preemptions_before, sleep) = match depth.checked_sub(1) {
+            None => (0, BTreeSet::new()),
+            Some(pd) => {
+                let parent = &self.nodes[pd];
+                let executed = parent.events[parent.chosen];
+                let preemptions = parent.preemptions_before
+                    + Self::preemption_cost(parent.prev_running, parent.chosen);
+                // A sleeping thread wakes only when a dependent op runs:
+                // its own next op is unchanged (it has not been scheduled),
+                // so test it against the op the parent just executed.
+                let sleep: BTreeSet<usize> = parent
+                    .sleep
+                    .iter()
+                    .copied()
+                    .filter(|&t| view.events[t].is_some())
+                    .filter(|&t| independent(view.events[t], executed))
+                    .collect();
+                (preemptions, sleep)
+            }
+        };
+        let feasible = |c: usize| {
+            preemptions_before + Self::preemption_cost(view.prev_running, c)
+                <= self.preemption_bound
+        };
+        let choice = view
+            .prev_running
+            .filter(|&pr| view.enabled.contains(&pr) && !sleep.contains(&pr))
+            .or_else(|| {
+                view.enabled
+                    .iter()
+                    .copied()
+                    .find(|&c| !sleep.contains(&c) && feasible(c))
+            });
+        let c = choice?;
+        self.nodes.push(Node {
+            enabled: view.enabled.to_vec(),
+            events: view.events.to_vec(),
+            prev_running: view.prev_running,
+            preemptions_before,
+            sleep,
+            chosen: c,
+        });
+        self.prefix_len = self.nodes.len();
+        Some(c)
+    }
+}
+
+/// Uniform random scheduling from a deterministic seed. No pruning: every
+/// execution runs to completion, which keeps recorded schedules directly
+/// replayable as tokens.
+pub(crate) struct RandomChooser {
+    rng: SimRng,
+}
+
+impl RandomChooser {
+    pub(crate) fn new(rng: SimRng) -> Self {
+        RandomChooser { rng }
+    }
+}
+
+impl Chooser for RandomChooser {
+    fn choose(&mut self, _depth: usize, view: &StepView<'_>) -> Option<usize> {
+        let i = self.rng.below(view.enabled.len() as u64) as usize;
+        Some(view.enabled[i])
+    }
+}
+
+/// Replays a recorded schedule, then continues with the default policy
+/// (failures always surface at or before the end of the recorded part).
+pub(crate) struct ReplayChooser {
+    schedule: Vec<usize>,
+    pub(crate) diverged: Option<String>,
+}
+
+impl ReplayChooser {
+    pub(crate) fn new(schedule: Vec<usize>) -> Self {
+        ReplayChooser {
+            schedule,
+            diverged: None,
+        }
+    }
+}
+
+impl Chooser for ReplayChooser {
+    fn choose(&mut self, depth: usize, view: &StepView<'_>) -> Option<usize> {
+        if let Some(&c) = self.schedule.get(depth) {
+            if view.enabled.contains(&c) {
+                return Some(c);
+            }
+            self.diverged = Some(format!(
+                "replay diverged at step {depth}: token schedules thread {c} but enabled \
+                 threads are {:?} — the model or build differs from the recording",
+                view.enabled
+            ));
+            return None;
+        }
+        Some(
+            view.prev_running
+                .unwrap_or_else(|| view.enabled[0]),
+        )
+    }
+}
+
+/// Default policy only (used for the warmup execution): stay on the
+/// current thread, else lowest index.
+pub(crate) struct DefaultChooser;
+
+impl Chooser for DefaultChooser {
+    fn choose(&mut self, _depth: usize, view: &StepView<'_>) -> Option<usize> {
+        Some(view.prev_running.unwrap_or_else(|| view.enabled[0]))
+    }
+}

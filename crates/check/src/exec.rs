@@ -1,0 +1,420 @@
+//! One controlled execution: real OS worker threads, cooperatively
+//! scheduled so exactly one runs between schedule points.
+//!
+//! The controller (the caller's thread) owns the turn. Each worker parks
+//! inside [`parking_lot::schedule::Hook::point`] until the controller
+//! hands it the turn; it then runs undisturbed to its next schedule point
+//! and hands the turn back. Modeled locks never block in the OS (the shim
+//! switches managed threads to `try_lock` loops), so the controller sees
+//! every thread either runnable, blocked on a known object, or done — and
+//! can detect deadlocks instead of hanging on them.
+//!
+//! Everything in this module synchronizes through `std::sync` directly:
+//! using the instrumented shim here would re-enter the hook from inside
+//! the hook.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, PoisonError};
+use std::thread::JoinHandle;
+
+use parking_lot::schedule::{self, Access, Event};
+
+/// A set of threads (plus an optional post-condition) whose interleavings
+/// one execution runs under checker control. Build a fresh `Model` per
+/// execution — the factory closure passed to
+/// [`Checker::exhaustive`](crate::Checker::exhaustive) is called once per
+/// explored schedule.
+#[derive(Default)]
+pub struct Model {
+    pub(crate) threads: Vec<Box<dyn FnOnce() + Send>>,
+    pub(crate) post: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a thread. Thread indices (used in schedules and replay
+    /// tokens) follow the order of `thread` calls, from 0.
+    pub fn thread(mut self, body: impl FnOnce() + Send + 'static) -> Self {
+        self.threads.push(Box::new(body));
+        self
+    }
+
+    /// Adds a post-condition: runs on the controller thread after every
+    /// thread completed (skipped for schedules pruned mid-way). A panic
+    /// here fails the execution like a thread panic.
+    pub fn post(mut self, check: impl FnOnce() + Send + 'static) -> Self {
+        self.post = Some(Box::new(check));
+        self
+    }
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("threads", &self.threads.len())
+            .field("post", &self.post.is_some())
+            .finish()
+    }
+}
+
+/// What one scheduling decision sees.
+pub(crate) struct StepView<'a> {
+    /// Indices of runnable threads (non-empty).
+    pub enabled: &'a [usize],
+    /// Each thread's pending event (`None` once the thread is done).
+    pub events: &'a [Option<Event>],
+    /// The previously scheduled thread, if it is still enabled; choosing
+    /// anything else is a preemption.
+    pub prev_running: Option<usize>,
+}
+
+/// A scheduling policy driving one or more executions.
+pub(crate) trait Chooser {
+    /// Picks the next thread from `view.enabled`, or `None` to prune the
+    /// execution (the remaining interleaving is known redundant).
+    fn choose(&mut self, depth: usize, view: &StepView<'_>) -> Option<usize>;
+}
+
+/// How one execution ended.
+pub(crate) enum Outcome {
+    /// All threads (and the post-condition) completed.
+    Completed,
+    /// The chooser aborted a known-redundant schedule.
+    Pruned,
+    /// A thread panicked, the post-condition panicked, every live thread
+    /// was blocked (deadlock), or the step budget ran out (livelock).
+    /// Carries the schedule that was run.
+    Failed { choices: Vec<usize>, message: String },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Controller,
+    Worker(usize),
+    /// Exploration over: every parked worker resumes and free-runs (all
+    /// schedule points return immediately) so it can be joined.
+    FreeRun,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    /// Blocked on the object id of a modeled lock; re-enabled by the next
+    /// `Release` event on the same object.
+    Blocked(usize),
+    Done,
+}
+
+struct ThreadState {
+    status: Status,
+    pending: Option<Event>,
+    /// Reached its initial schedule point (the controller waits for all
+    /// threads to check in before the first decision).
+    started: bool,
+}
+
+struct ExecState {
+    turn: Turn,
+    threads: Vec<ThreadState>,
+    failure: Option<String>,
+}
+
+pub(crate) struct ExecShared {
+    m: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+impl ExecShared {
+    fn new(n: usize) -> Self {
+        ExecShared {
+            m: Mutex::new(ExecState {
+                turn: Turn::Controller,
+                threads: (0..n)
+                    .map(|_| ThreadState {
+                        status: Status::Ready,
+                        pending: None,
+                        started: false,
+                    })
+                    .collect(),
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// A worker parks at a schedule point until the controller hands it
+    /// the turn (or the execution enters free-run).
+    fn yield_at(&self, i: usize, event: Event) {
+        let mut st = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.turn == Turn::FreeRun {
+            return;
+        }
+        {
+            let t = &mut st.threads[i];
+            t.started = true;
+            t.pending = Some(event);
+            t.status = match event.access {
+                Access::Blocked => Status::Blocked(event.obj),
+                _ => Status::Ready,
+            };
+        }
+        if event.access == Access::Release {
+            for t in st.threads.iter_mut() {
+                if t.status == Status::Blocked(event.obj) {
+                    t.status = Status::Ready;
+                }
+            }
+        }
+        st.turn = Turn::Controller;
+        self.cv.notify_all();
+        loop {
+            match st.turn {
+                Turn::Worker(j) if j == i => return,
+                Turn::FreeRun => return,
+                _ => st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+    }
+
+    fn finish_worker(&self, i: usize, panic_msg: Option<String>) {
+        let mut st = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+        {
+            let t = &mut st.threads[i];
+            t.started = true;
+            t.status = Status::Done;
+            t.pending = None;
+        }
+        if let Some(msg) = panic_msg {
+            st.failure.get_or_insert(msg);
+        }
+        if st.turn != Turn::FreeRun {
+            st.turn = Turn::Controller;
+        }
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Clone)]
+struct WorkerCtx {
+    shared: Arc<ExecShared>,
+    index: usize,
+}
+
+thread_local! {
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+struct CheckHook;
+
+impl schedule::Hook for CheckHook {
+    fn is_managed(&self) -> bool {
+        WORKER
+            .try_with(|w| w.borrow().is_some())
+            .unwrap_or(false)
+    }
+
+    fn point(&self, event: Event) {
+        let ctx = WORKER.try_with(|w| w.borrow().clone()).ok().flatten();
+        if let Some(ctx) = ctx {
+            ctx.shared.yield_at(ctx.index, event);
+        }
+    }
+}
+
+static HOOK: CheckHook = CheckHook;
+static HOOK_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs the schedule hook and a panic hook that silences managed
+/// workers (their panic payloads are captured and reported through the
+/// checker; pruned schedules resumed in free-run may also trip model
+/// assertions, which would otherwise spam stderr).
+pub(crate) fn ensure_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        if schedule::install(&HOOK) {
+            HOOK_INSTALLED.store(true, Ordering::SeqCst);
+        }
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let managed = WORKER
+                .try_with(|w| w.borrow().is_some())
+                .unwrap_or(false);
+            if !managed {
+                default(info);
+            }
+        }));
+    });
+    assert!(
+        HOOK_INSTALLED.load(Ordering::SeqCst),
+        "cycada_check could not install its schedule hook (another hook is already installed)"
+    );
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+fn spawn_worker(
+    shared: Arc<ExecShared>,
+    i: usize,
+    body: Box<dyn FnOnce() + Send>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        WORKER.with(|w| {
+            *w.borrow_mut() = Some(WorkerCtx {
+                shared: shared.clone(),
+                index: i,
+            });
+        });
+        // Park at an initial point so the controller makes the very first
+        // scheduling decision with every thread checked in.
+        shared.yield_at(
+            i,
+            Event {
+                label: "spawn",
+                obj: 0,
+                access: Access::Yield,
+            },
+        );
+        let result = catch_unwind(AssertUnwindSafe(body));
+        // Unmanage before finishing: anything that runs after the body
+        // (thread-local destructors included) uses real blocking locks.
+        WORKER.with(|w| *w.borrow_mut() = None);
+        shared.finish_worker(i, result.err().map(panic_message));
+    })
+}
+
+/// Runs one execution of `model` under `chooser` control.
+pub(crate) fn run_model(
+    model: Model,
+    chooser: &mut dyn Chooser,
+    max_steps: usize,
+) -> Outcome {
+    ensure_hook();
+    let _active = schedule::activate();
+    let n = model.threads.len();
+    assert!(n > 0, "a model needs at least one thread");
+    let shared = Arc::new(ExecShared::new(n));
+    let handles: Vec<JoinHandle<()>> = model
+        .threads
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| spawn_worker(shared.clone(), i, body))
+        .collect();
+
+    let mut choices: Vec<usize> = Vec::new();
+    let mut prev: Option<usize> = None;
+    let mut deadlocked = false;
+    let outcome = loop {
+        let mut st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            let all_in = st
+                .threads
+                .iter()
+                .all(|t| t.started || t.status == Status::Done);
+            if st.turn == Turn::Controller && all_in {
+                break;
+            }
+            st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(msg) = st.failure.take() {
+            break ControllerEnd::Failed(msg);
+        }
+        if st.threads.iter().all(|t| t.status == Status::Done) {
+            break ControllerEnd::AllDone;
+        }
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            deadlocked = true;
+            let waiting: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match (t.status, t.pending) {
+                    (Status::Blocked(obj), Some(ev)) => {
+                        Some(format!("thread {i} blocked at `{}` (obj {obj:#x})", ev.label))
+                    }
+                    _ => None,
+                })
+                .collect();
+            break ControllerEnd::Failed(format!("deadlock: {}", waiting.join("; ")));
+        }
+        if choices.len() >= max_steps {
+            break ControllerEnd::Failed(format!(
+                "livelock: execution exceeded {max_steps} scheduling steps"
+            ));
+        }
+        let events: Vec<Option<Event>> = st.threads.iter().map(|t| t.pending).collect();
+        let prev_running = prev.filter(|p| enabled.contains(p));
+        let view = StepView {
+            enabled: &enabled,
+            events: &events,
+            prev_running,
+        };
+        match chooser.choose(choices.len(), &view) {
+            None => break ControllerEnd::Pruned,
+            Some(c) => {
+                debug_assert!(enabled.contains(&c), "chooser picked a non-enabled thread");
+                choices.push(c);
+                prev = Some(c);
+                st.turn = Turn::Worker(c);
+                shared.cv.notify_all();
+            }
+        }
+    };
+
+    if deadlocked {
+        // Blocked workers are parked forever: detach them (a bounded leak
+        // on the failure path) — resuming them would spin on locks whose
+        // holders never run again.
+        drop(handles);
+    } else {
+        let mut st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        st.turn = Turn::FreeRun;
+        shared.cv.notify_all();
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    match outcome {
+        ControllerEnd::Failed(message) => Outcome::Failed { choices, message },
+        ControllerEnd::Pruned => Outcome::Pruned,
+        ControllerEnd::AllDone => {
+            if let Some(post) = model.post {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(post)) {
+                    return Outcome::Failed {
+                        choices,
+                        message: format!("post-condition failed: {}", panic_message(payload)),
+                    };
+                }
+            }
+            Outcome::Completed
+        }
+    }
+}
+
+enum ControllerEnd {
+    AllDone,
+    Pruned,
+    Failed(String),
+}

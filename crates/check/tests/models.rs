@@ -1,0 +1,441 @@
+//! Model suite for `cycada_check`: sanity models proving the explorer
+//! finds (and replays) schedule bugs, plus the project-protocol models —
+//! the PR 4 `ImpersonationGuard::end` partial-restore bug on its pre-fix
+//! code shape, the trace seqlock, and `SlotTable` chunk-boundary churn.
+
+use std::sync::Arc;
+
+use cycada_check::{Checker, Model};
+use cycada_kernel::Kernel;
+use cycada_linker::DynamicLinker;
+use cycada_sim::slots::SlotTable;
+use cycada_sim::trace::model::RawRing;
+use cycada_sim::{Persona, Platform};
+use parking_lot::Mutex;
+
+// ---------------------------------------------------------------------
+// Explorer sanity: find a known race, replay it, pass a correct model
+// ---------------------------------------------------------------------
+
+/// The classic lost update: each thread reads the counter under one lock
+/// acquisition and writes back under another. Some interleaving loses an
+/// increment; bound-1 exhaustive search must find it.
+fn lost_update_model() -> Model {
+    let counter = Arc::new(Mutex::new(0u32));
+    let (a, b, c) = (counter.clone(), counter.clone(), counter);
+    Model::new()
+        .thread(move || {
+            let v = *a.lock();
+            *a.lock() = v + 1;
+        })
+        .thread(move || {
+            let v = *b.lock();
+            *b.lock() = v + 1;
+        })
+        .post(move || assert_eq!(*c.lock(), 2, "an increment was lost"))
+}
+
+#[test]
+fn exhaustive_finds_lost_update_and_token_replays_it() {
+    let checker = Checker::new().preemption_bound(1);
+    let failure = checker
+        .exhaustive(lost_update_model)
+        .expect_err("the lost update must be found");
+    assert!(
+        failure.message.contains("an increment was lost"),
+        "unexpected failure: {failure}"
+    );
+    assert!(!failure.token.is_empty(), "failure must carry a replay token");
+
+    // The printed token reproduces the same failure deterministically.
+    let replayed = checker
+        .replay(&failure.token, lost_update_model)
+        .expect_err("replaying the failure token must reproduce the failure");
+    assert!(
+        replayed.message.contains("an increment was lost"),
+        "replay produced a different failure: {replayed}"
+    );
+}
+
+#[test]
+fn exhaustive_passes_atomic_increment() {
+    let report = Checker::new()
+        .preemption_bound(2)
+        .exhaustive(|| {
+            let counter = Arc::new(Mutex::new(0u32));
+            let (a, b, c) = (counter.clone(), counter.clone(), counter);
+            Model::new()
+                .thread(move || *a.lock() += 1)
+                .thread(move || *b.lock() += 1)
+                .post(move || assert_eq!(*c.lock(), 2))
+        })
+        .expect("single-lock increments cannot lose updates");
+    assert!(report.complete, "small model must be fully explored");
+    assert!(report.executions > 1, "more than one schedule exists");
+}
+
+#[test]
+fn exhaustive_detects_lock_order_deadlock() {
+    let failure = Checker::new()
+        .preemption_bound(1)
+        .exhaustive(|| {
+            let x = Arc::new(Mutex::new(0u32));
+            let y = Arc::new(Mutex::new(0u32));
+            let (x1, y1) = (x.clone(), y.clone());
+            Model::new()
+                .thread(move || {
+                    let _gx = x.lock();
+                    let _gy = y.lock();
+                })
+                .thread(move || {
+                    let _gy = y1.lock();
+                    let _gx = x1.lock();
+                })
+        })
+        .expect_err("AB-BA locking must deadlock under some schedule");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure: {failure}"
+    );
+}
+
+#[test]
+fn random_mode_finds_lost_update() {
+    let failure = Checker::new()
+        .random(0xC1CADA, 200, lost_update_model)
+        .expect_err("200 random schedules must hit the lost update");
+    assert!(failure.message.contains("an increment was lost"));
+    // And the recorded schedule replays.
+    let replayed = Checker::new()
+        .replay(&failure.token, lost_update_model)
+        .expect_err("random-mode token must replay");
+    assert!(replayed.message.contains("an increment was lost"));
+}
+
+// ---------------------------------------------------------------------
+// Satellite: the PR 4 ImpersonationGuard::end partial-restore bug,
+// deterministically reproduced on the pre-fix code shape
+// ---------------------------------------------------------------------
+
+const ANDROID_SLOT: usize = 10;
+const IOS_SLOT: usize = 11;
+const OWN_ANDROID: u64 = 0x111;
+const OWN_IOS: u64 = 0x222;
+
+fn persona_slots(persona: Persona) -> Vec<usize> {
+    match persona {
+        Persona::Android => vec![ANDROID_SLOT],
+        Persona::Ios => vec![IOS_SLOT],
+    }
+}
+
+/// The impersonation *begin* syscall sequence (save own TLS, adopt the
+/// target's), exactly as `DiplomatEngine::impersonate` issues it. Returns
+/// the saved TLS per persona, or `None` if a step failed (target died
+/// before the guard existed — nothing to assert about teardown then).
+#[allow(clippy::type_complexity)]
+fn begin_impersonation(
+    kernel: &Kernel,
+    running: cycada_kernel::SimTid,
+    target: cycada_kernel::SimTid,
+) -> Option<[Vec<Option<cycada_kernel::TlsValue>>; 2]> {
+    let mut saved: [Vec<Option<cycada_kernel::TlsValue>>; 2] = [Vec::new(), Vec::new()];
+    for persona in Persona::ALL {
+        let slots = persona_slots(persona);
+        let own = kernel.locate_tls(running, running, persona, &slots).ok()?;
+        let theirs = kernel.locate_tls(running, target, persona, &slots).ok()?;
+        kernel
+            .propagate_tls(running, running, persona, &slots, &theirs)
+            .ok()?;
+        saved[persona.index()] = own;
+    }
+    Some(saved)
+}
+
+/// The PRE-FIX `ImpersonationGuard::end` shape: `?` on every step, so the
+/// first failing persona aborts the walk and later personas are left
+/// wearing the target's TLS. (PR 4 replaced this with attempt-everything,
+/// collect-errors.)
+fn buggy_end(
+    kernel: &Kernel,
+    running: cycada_kernel::SimTid,
+    target: cycada_kernel::SimTid,
+    saved: &[Vec<Option<cycada_kernel::TlsValue>>; 2],
+) -> Result<(), String> {
+    for persona in Persona::ALL {
+        let slots = persona_slots(persona);
+        let current = kernel
+            .locate_tls(running, running, persona, &slots)
+            .map_err(|e| e.to_string())?;
+        // Write updates back to the target — the step that fails when the
+        // target exited mid-guard. The `?` is the bug: it skips the
+        // restore below AND every later persona.
+        kernel
+            .propagate_tls(running, target, persona, &slots, &current)
+            .map_err(|e| e.to_string())?;
+        kernel
+            .propagate_tls(running, running, persona, &slots, &saved[persona.index()])
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// The invariant the fixed teardown guarantees: whatever else happened,
+/// the running thread wears its own graphics TLS in every persona.
+fn assert_own_tls_restored(kernel: &Kernel, running: cycada_kernel::SimTid) {
+    assert_eq!(
+        kernel.tls_get_raw(running, Persona::Android, ANDROID_SLOT).unwrap(),
+        Some(OWN_ANDROID),
+        "running thread left wearing foreign Android-persona TLS"
+    );
+    assert_eq!(
+        kernel.tls_get_raw(running, Persona::Ios, IOS_SLOT).unwrap(),
+        Some(OWN_IOS),
+        "running thread left wearing foreign iOS-persona TLS"
+    );
+}
+
+/// The saved-TLS snapshot an impersonation guard holds: one slot vector
+/// per persona.
+type SavedTls = [Vec<Option<cycada_kernel::TlsValue>>; 2];
+
+/// Builds the 2-thread impersonation-vs-thread-exit model. `end` is the
+/// teardown under test (buggy pre-fix shape or the fixed engine path).
+fn impersonation_exit_model(
+    end: fn(&Kernel, cycada_kernel::SimTid, cycada_kernel::SimTid, &SavedTls),
+) -> Model {
+    let kernel = Arc::new(Kernel::for_platform(Platform::CycadaIos));
+    let target = kernel.spawn_process_main(Persona::Ios).unwrap();
+    let running = kernel.spawn_thread(target, Persona::Ios).unwrap();
+    kernel
+        .tls_set_raw(running, Persona::Android, ANDROID_SLOT, Some(OWN_ANDROID))
+        .unwrap();
+    kernel
+        .tls_set_raw(running, Persona::Ios, IOS_SLOT, Some(OWN_IOS))
+        .unwrap();
+    let k1 = kernel.clone();
+    let k2 = kernel;
+    Model::new()
+        .thread(move || {
+            let Some(saved) = begin_impersonation(&k1, running, target) else {
+                // Target exited before the guard existed; no teardown to
+                // check on this schedule.
+                return;
+            };
+            end(&k1, running, target, &saved);
+            assert_own_tls_restored(&k1, running);
+        })
+        .thread(move || {
+            let _ = k2.exit_thread(target);
+        })
+}
+
+#[test]
+fn prefix_impersonation_end_bug_found_and_replayed() {
+    let checker = Checker::new().preemption_bound(1);
+    let mk = || {
+        impersonation_exit_model(|kernel, running, target, saved| {
+            let _ = buggy_end(kernel, running, target, saved);
+        })
+    };
+    let failure = checker
+        .exhaustive(mk)
+        .expect_err("pre-fix end must leave a persona foreign under some schedule");
+    assert!(
+        failure.message.contains("foreign"),
+        "expected the partial-restore assertion, got: {failure}"
+    );
+    // Deterministic replay from the printed token.
+    let replayed = checker
+        .replay(&failure.token, mk)
+        .expect_err("token must reproduce the partial restore");
+    assert!(replayed.message.contains("foreign"));
+}
+
+#[test]
+fn fixed_impersonation_end_passes_exhaustively() {
+    // Same model, but teardown attempts write-back and restore for every
+    // persona (the PR 4 fix, re-implemented over raw syscalls so the
+    // schedule shape matches the buggy variant).
+    let report = Checker::new()
+        .preemption_bound(1)
+        .exhaustive(|| {
+            impersonation_exit_model(|kernel, running, target, saved| {
+                for persona in Persona::ALL {
+                    let slots = persona_slots(persona);
+                    if let Ok(current) = kernel.locate_tls(running, running, persona, &slots) {
+                        let _ = kernel.propagate_tls(running, target, persona, &slots, &current);
+                    }
+                    let _ = kernel.propagate_tls(
+                        running,
+                        running,
+                        persona,
+                        &slots,
+                        &saved[persona.index()],
+                    );
+                }
+            })
+        })
+        .expect("fixed teardown must restore every persona under every schedule");
+    assert!(report.complete);
+}
+
+#[test]
+fn real_impersonation_guard_passes_exhaustively() {
+    // The actual engine path: DiplomatEngine::impersonate + finish,
+    // racing the target thread's exit.
+    let report = Checker::new()
+        .preemption_bound(1)
+        .exhaustive(|| {
+            let kernel = Arc::new(Kernel::for_platform(Platform::CycadaIos));
+            let linker = Arc::new(DynamicLinker::new(kernel.clock().clone()));
+            let engine = cycada_diplomat::DiplomatEngine::new(kernel.clone(), linker);
+            engine
+                .graphics_tls()
+                .register_well_known(Persona::Android, ANDROID_SLOT);
+            engine.graphics_tls().register_well_known(Persona::Ios, IOS_SLOT);
+            let target = kernel.spawn_process_main(Persona::Ios).unwrap();
+            let running = kernel.spawn_thread(target, Persona::Ios).unwrap();
+            kernel
+                .tls_set_raw(running, Persona::Android, ANDROID_SLOT, Some(OWN_ANDROID))
+                .unwrap();
+            kernel
+                .tls_set_raw(running, Persona::Ios, IOS_SLOT, Some(OWN_IOS))
+                .unwrap();
+            let k1 = kernel.clone();
+            let k2 = kernel;
+            Model::new()
+                .thread(move || {
+                    let Ok(guard) = engine.impersonate(running, target) else {
+                        return;
+                    };
+                    let _ = guard.finish();
+                    assert_own_tls_restored(&k1, running);
+                })
+                .thread(move || {
+                    let _ = k2.exit_thread(target);
+                })
+        })
+        .expect("the shipped ImpersonationGuard must restore every persona");
+    assert!(report.complete);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: trace seqlock — torn reads rejected, snapshot work bounded
+// ---------------------------------------------------------------------
+
+#[test]
+fn seqlock_snapshot_never_tears_under_wrapping_writer() {
+    // Capacity-2 ring, 3 pushes: the writer wraps mid-snapshot on some
+    // schedules. Every event a snapshot returns must satisfy the
+    // synthetic consistency relation (a torn read mixing two events
+    // breaks it), appear in push order, and number at most `capacity`
+    // (the snapshot makes one bounded pass; torn slots are skipped, never
+    // retried).
+    let report = Checker::new()
+        .preemption_bound(2)
+        .exhaustive(|| {
+            let ring = Arc::new(RawRing::with_capacity(2));
+            let (w, r) = (ring.clone(), ring);
+            Model::new()
+                .thread(move || {
+                    for arg in 0..3u64 {
+                        w.push_synthetic(arg);
+                    }
+                })
+                .thread(move || {
+                    let pairs = r.snapshot_pairs();
+                    assert!(
+                        pairs.len() <= r.capacity(),
+                        "snapshot returned more events than the ring holds"
+                    );
+                    for &(arg, wall) in &pairs {
+                        assert!(arg < 3, "snapshot surfaced an event never pushed");
+                        assert_eq!(wall, arg * 3 + 1, "torn read: mixed two events");
+                    }
+                    for w2 in pairs.windows(2) {
+                        assert!(w2[0].0 < w2[1].0, "snapshot order must follow push order");
+                    }
+                })
+        })
+        .expect("seqlock snapshot must reject torn reads under every schedule");
+    assert!(report.complete, "seqlock model must be fully explored");
+    assert!(
+        report.executions > 10,
+        "wrapping writer vs snapshot must expose many schedules (got {})",
+        report.executions
+    );
+}
+
+#[test]
+fn seqlock_writer_overwrite_mid_snapshot_is_discarded() {
+    // Tighter variant: the reader snapshots while the writer overwrites
+    // the exact slot being read (capacity 1 forces every push onto one
+    // slot). The snapshot may return nothing or a valid event — never a
+    // mix.
+    let report = Checker::new()
+        .preemption_bound(2)
+        .exhaustive(|| {
+            let ring = Arc::new(RawRing::with_capacity(1));
+            let (w, r) = (ring.clone(), ring);
+            Model::new()
+                .thread(move || {
+                    w.push_synthetic(1);
+                    w.push_synthetic(2);
+                })
+                .thread(move || {
+                    for (arg, wall) in r.snapshot_pairs() {
+                        assert_eq!(wall, arg * 3 + 1, "torn read escaped the seq recheck");
+                    }
+                })
+        })
+        .expect("single-slot overwrite races must never leak torn events");
+    assert!(report.complete);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: SlotTable concurrent churn at the chunk boundary
+// ---------------------------------------------------------------------
+
+#[test]
+fn slot_table_chunk_boundary_churn() {
+    // Ids 63 and 64 straddle the first chunk boundary (CHUNK = 64): the
+    // two threads race chunk publication, per-slot writes and removals.
+    let report = Checker::new()
+        .preemption_bound(2)
+        .exhaustive(|| {
+            let table: Arc<SlotTable<u64>> = Arc::new(SlotTable::new());
+            let (t1, t2, t3) = (table.clone(), table.clone(), table);
+            Model::new()
+                .thread(move || {
+                    t1.set(63, Some(1));
+                    t1.set(64, Some(2));
+                    let v = t1.get(63);
+                    assert!(
+                        v == Some(1) || v == Some(3),
+                        "slot 63 must hold one of the two written values, got {v:?}"
+                    );
+                })
+                .thread(move || {
+                    t2.set(63, Some(3));
+                    let v = t2.get(64);
+                    assert!(
+                        v.is_none() || v == Some(2),
+                        "slot 64 must be empty or hold thread 1's value, got {v:?}"
+                    );
+                    t2.set(64, None);
+                })
+                .post(move || {
+                    let v63 = t3.get(63);
+                    assert!(v63 == Some(1) || v63 == Some(3), "slot 63 lost both writes: {v63:?}");
+                    let v64 = t3.get(64);
+                    assert!(
+                        v64.is_none() || v64 == Some(2),
+                        "slot 64 resurrected a removed value: {v64:?}"
+                    );
+                    assert!(t3.len() <= 2, "churn left phantom occupied slots");
+                })
+        })
+        .expect("chunk-boundary churn must preserve per-slot atomicity");
+    assert!(report.complete);
+}

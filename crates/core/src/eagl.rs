@@ -330,6 +330,29 @@ impl Eagl {
         Ok(())
     }
 
+    /// `-[EAGLContext dealloc]` — full context teardown: releases the
+    /// drawable, destroys the underlying EGL context and window surface,
+    /// unloads the context's DLR replica connection, and forgets the
+    /// record. Any thread the context was current on is left with no
+    /// current context. Every context-scoped method errors afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError::Eagl`] for unknown contexts.
+    pub fn destroy_context(&self, tid: SimTid, ctx: EaglContextId) -> Result<()> {
+        self.delete_drawable(tid, ctx)?;
+        let record = self
+            .contexts
+            .lock()
+            .remove(&ctx)
+            .ok_or_else(|| CycadaError::Eagl(format!("unknown EAGLContext {ctx}")))?;
+        self.current.lock().retain(|_, c| *c != ctx);
+        self.egl.destroy_surface(tid, record.window_surface)?;
+        self.egl.destroy_context(record.egl_ctx)?;
+        self.egl.release_mc_connection(record.connection)?;
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // From-scratch methods (10)
     // ------------------------------------------------------------------

@@ -49,6 +49,14 @@ impl DiplomatEngine {
         let mut slots_arr: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
         let mut saved_arr: [Vec<Option<TlsValue>>; 2] = [Vec::new(), Vec::new()];
         for persona in Persona::ALL {
+            // One schedule point per persona step: the checker interleaves
+            // competitor threads (e.g. the target exiting) between the
+            // per-persona TLS migrations.
+            cycada_sim::schedule_point!(
+                "impersonation.begin",
+                running.as_u64() as usize,
+                cycada_sim::check::Access::Write
+            );
             let slots = self.graphics_tls().slots(persona);
             // (3) Save the running thread's graphics TLS...
             let saved = kernel
@@ -107,6 +115,11 @@ impl ImpersonationGuard {
         // thread's own restore still succeeds.)
         let mut first_err: Option<DiplomatError> = None;
         for persona in Persona::ALL {
+            cycada_sim::schedule_point!(
+                "impersonation.end",
+                self.running.as_u64() as usize,
+                cycada_sim::check::Access::Write
+            );
             let slots = &self.slots[persona.index()];
             // (4) Updates made while impersonating are reflected back into
             // the TLS associated with the GLES context (the target thread).

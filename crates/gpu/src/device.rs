@@ -70,6 +70,7 @@ pub struct GpuDevice {
     clock: VirtualClock,
     cost: GpuCostModel,
     raster_threads: AtomicUsize,
+    reference_raster: std::sync::atomic::AtomicBool,
     inner: Mutex<DeviceInner>,
 }
 
@@ -80,8 +81,23 @@ impl GpuDevice {
             clock,
             cost,
             raster_threads: AtomicUsize::new(1),
+            reference_raster: std::sync::atomic::AtomicBool::new(false),
             inner: Mutex::new(DeviceInner::default()),
         }
+    }
+
+    /// Routes every draw and blit through [`raster::reference`] — the
+    /// per-pixel executable specification — instead of the span
+    /// rasterizer. Costs, stats and pixels must be identical either way;
+    /// the differential conformance fuzzer runs one device in each mode
+    /// and asserts exactly that.
+    pub fn set_reference_raster(&self, on: bool) {
+        self.reference_raster.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether draws are routed through the reference rasterizer.
+    pub fn reference_raster(&self) -> bool {
+        self.reference_raster.load(Ordering::Relaxed)
     }
 
     /// Sets how many scoped worker threads draw commands may rasterize
@@ -155,12 +171,24 @@ impl GpuDevice {
         inner.stats.draws += 1;
         drop(inner);
 
-        let threads = self.raster_threads();
-        let metrics = match indices {
-            Some(idx) => {
-                raster::draw_indexed_tiled(target, depth, vertices, idx, pipeline, threads)
+        let metrics = if self.reference_raster() {
+            let owned: Vec<u32>;
+            let idx: &[u32] = match indices {
+                Some(idx) => idx,
+                None => {
+                    owned = (0..vertices.len() as u32).collect();
+                    &owned
+                }
+            };
+            raster::reference::draw_indexed(target, depth, vertices, idx, pipeline)
+        } else {
+            let threads = self.raster_threads();
+            match indices {
+                Some(idx) => {
+                    raster::draw_indexed_tiled(target, depth, vertices, idx, pipeline, threads)
+                }
+                None => raster::draw_triangles_tiled(target, depth, vertices, pipeline, threads),
             }
-            None => raster::draw_triangles_tiled(target, depth, vertices, pipeline, threads),
         };
 
         let scale = self.class_scale(class);
@@ -185,7 +213,11 @@ impl GpuDevice {
         self.submit(&mut inner);
         inner.stats.blits += 1;
         drop(inner);
-        let pixels = raster::blit(src, src_rect, dst, dst_rect);
+        let pixels = if self.reference_raster() {
+            raster::reference::blit(src, src_rect, dst, dst_rect)
+        } else {
+            raster::blit(src, src_rect, dst, dst_rect)
+        };
         self.clock.charge_ns_f64(
             pixels as f64 * 4.0 * self.cost.per_copy_byte_ns * self.class_scale(class),
         );

@@ -57,6 +57,15 @@ impl VirtualClock {
 
     /// Advances the clock by `ns` nanoseconds, returning the new time.
     pub fn charge_ns(&self, ns: Nanos) -> Nanos {
+        // Schedule point for the charge ledger: the thread-local add and
+        // the shared fetch_add are one explorable step. This is the
+        // hottest path in the simulator, so it carries exactly one gate
+        // (a relaxed load) when the checker is not driving.
+        crate::check::schedule_point(
+            "clock.charge",
+            Arc::as_ptr(&self.ns) as usize,
+            crate::check::Access::Write,
+        );
         THREAD_CHARGED_NS.with(|c| c.set(c.get() + ns));
         self.ns.fetch_add(ns, Ordering::Relaxed) + ns
     }

@@ -74,6 +74,13 @@ impl FnId {
     /// name return the same id.
     pub fn intern(name: &str) -> FnId {
         let table = intern_table();
+        // The read-check / write-recheck dance below is a racy protocol;
+        // mark its entry so the model checker can interleave competitors.
+        crate::check::schedule_point(
+            "intern.fn_id",
+            std::ptr::from_ref(table) as usize,
+            crate::check::Access::Write,
+        );
         if let Some(&id) = table.by_name.read().get(name) {
             return id;
         }
@@ -170,6 +177,11 @@ impl<T> FnTable<T> {
     /// Returns the value for `id`, initializing the slot with `init` if it
     /// is empty. Concurrent initializers race benignly; one wins.
     pub fn get_or_init(&self, id: FnId, init: impl FnOnce() -> T) -> &T {
+        crate::check::schedule_point(
+            "intern.table",
+            std::ptr::from_ref(self) as usize + id.index(),
+            crate::check::Access::Read,
+        );
         self.slot(id).get_or_init(init)
     }
 }

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 mod buffer;
+pub mod check;
 mod clock;
 pub mod intern;
 mod profile;

@@ -69,6 +69,13 @@ impl<T> SlotTable<T> {
         }
         let idx = id as usize;
         let chunk = idx / CHUNK;
+        // Chunk publication races with concurrent lookups on the same
+        // chunk; mark it so the model checker can interleave here.
+        crate::check::schedule_point(
+            "slots.chunk",
+            std::ptr::from_ref(&self.chunks[chunk]) as usize,
+            crate::check::Access::Read,
+        );
         let slots = self.chunks[chunk].get_or_init(|| {
             (0..CHUNK).map(|_| RwLock::new(None)).collect()
         });

@@ -327,11 +327,19 @@ unsafe impl Send for ThreadRing {}
 
 impl ThreadRing {
     fn new(tid: u64) -> Self {
+        Self::with_capacity(tid, RING_CAPACITY)
+    }
+
+    /// Capacity-parametric constructor: production rings use
+    /// [`RING_CAPACITY`]; model-checker tests use tiny rings (see
+    /// [`model::RawRing`]) so wraparound interleavings stay explorable.
+    fn with_capacity(tid: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
         ThreadRing {
             tid,
             head: AtomicU64::new(0),
             cleared: AtomicU64::new(0),
-            slots: (0..RING_CAPACITY)
+            slots: (0..capacity)
                 .map(|_| Slot {
                     seq: AtomicU64::new(0),
                     data: std::cell::UnsafeCell::new(MaybeUninit::uninit()),
@@ -340,25 +348,50 @@ impl ThreadRing {
         }
     }
 
+    /// Schedule-point identity of this ring.
+    fn obj(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
     /// Owner-thread-only append.
+    ///
+    /// The `trace.push.*` schedule points expose each seqlock state a
+    /// concurrent snapshot can observe: before the odd (write-in-progress)
+    /// seq store, between the seq store and the data write, between the
+    /// data write and the completing even store, and before the head
+    /// publish.
     fn push(&self, ev: TraceEvent) {
+        let obj = self.obj();
         let idx = self.head.load(Ordering::Relaxed);
-        let slot = &self.slots[(idx as usize) % RING_CAPACITY];
+        let slot = &self.slots[(idx as usize) % self.slots.len()];
+        crate::check::schedule_point("trace.push", obj, crate::check::Access::Write);
         slot.seq.store(idx * 2 + 1, Ordering::Release);
+        crate::check::schedule_point("trace.push.wip", obj, crate::check::Access::Write);
         // SAFETY: single producer — only the owning thread calls push, and
         // the odd seq word warns readers off while the write is in flight.
         unsafe { (*slot.data.get()).write(ev) };
+        crate::check::schedule_point("trace.push.seal", obj, crate::check::Access::Write);
         slot.seq.store((idx + 1) * 2, Ordering::Release);
+        crate::check::schedule_point("trace.push.publish", obj, crate::check::Access::Write);
         self.head.store(idx + 1, Ordering::Release);
     }
 
     /// Copies out every valid, uncleared event. Safe from any thread.
+    ///
+    /// Work is bounded by construction: one pass over at most
+    /// `slots.len()` indices, no retry loop — a torn slot is skipped, not
+    /// re-read (the `trace.snap.*` points let the model checker interleave
+    /// a writer at both racy windows and confirm the reject-don't-retry
+    /// discipline).
     fn snapshot_into(&self, out: &mut Vec<TraceEvent>) {
+        let obj = self.obj();
+        crate::check::schedule_point("trace.snap.begin", obj, crate::check::Access::Read);
         let head = self.head.load(Ordering::Acquire);
         let floor = self.cleared.load(Ordering::Acquire);
-        let start = head.saturating_sub(RING_CAPACITY as u64).max(floor);
+        let start = head.saturating_sub(self.slots.len() as u64).max(floor);
         for idx in start..head {
-            let slot = &self.slots[(idx as usize) % RING_CAPACITY];
+            let slot = &self.slots[(idx as usize) % self.slots.len()];
+            crate::check::schedule_point("trace.snap.read", obj, crate::check::Access::Read);
             let seq1 = slot.seq.load(Ordering::Acquire);
             if seq1 != (idx + 1) * 2 {
                 continue; // overwritten by a newer event or mid-write
@@ -367,11 +400,74 @@ impl ThreadRing {
             // the sequence word; a torn copy is discarded un-inspected.
             let ev = unsafe { std::ptr::read(slot.data.get()) };
             fence(Ordering::Acquire);
+            crate::check::schedule_point("trace.snap.verify", obj, crate::check::Access::Read);
             if slot.seq.load(Ordering::Relaxed) == seq1 {
                 // SAFETY: seq unchanged across the copy, so the slot held
                 // a fully initialized event the whole time.
                 out.push(unsafe { ev.assume_init() });
             }
+        }
+    }
+}
+
+/// Test-only handles over the trace internals for the `cycada_check`
+/// model suite. Hidden: not part of the crate's supported API.
+#[doc(hidden)]
+pub mod model {
+    use super::*;
+
+    /// A standalone seqlock ring with a tiny, explicit capacity, NOT
+    /// registered in the global ring registry (so model executions do not
+    /// leak rings or perturb real trace output). Synthetic events encode a
+    /// self-consistency relation (`wall_start_ns == arg * 3 + 1`) so a
+    /// torn read that mixes two events is detectable.
+    #[derive(Debug)]
+    pub struct RawRing(ThreadRing);
+
+    impl std::fmt::Debug for ThreadRing {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ThreadRing")
+                .field("tid", &self.tid)
+                .field("capacity", &self.slots.len())
+                .finish()
+        }
+    }
+
+    impl RawRing {
+        /// A ring with `capacity` slots (tid 0, unregistered).
+        pub fn with_capacity(capacity: usize) -> Self {
+            RawRing(ThreadRing::with_capacity(0, capacity))
+        }
+
+        /// Single-producer append of a synthetic event carrying `arg`.
+        /// Callers must uphold the owner-thread-only discipline: exactly
+        /// one thread of a model may push.
+        pub fn push_synthetic(&self, arg: u64) {
+            self.0.push(TraceEvent {
+                name: "model",
+                cat: Category::App,
+                kind: EventKind::Instant,
+                tid: 0,
+                wall_start_ns: arg * 3 + 1,
+                wall_dur_ns: 0,
+                virt_start_ns: 0,
+                virt_dur_ns: 0,
+                meter: 0,
+                arg,
+            });
+        }
+
+        /// Snapshot from any thread; returns `(arg, wall_start_ns)` pairs
+        /// so tests can assert the torn-read consistency relation.
+        pub fn snapshot_pairs(&self) -> Vec<(u64, u64)> {
+            let mut out = Vec::new();
+            self.0.snapshot_into(&mut out);
+            out.iter().map(|ev| (ev.arg, ev.wall_start_ns)).collect()
+        }
+
+        /// Ring capacity (snapshot can never return more events).
+        pub fn capacity(&self) -> usize {
+            self.0.slots.len()
         }
     }
 }

@@ -6,15 +6,34 @@
 //! `std::sync`. The semantics relevant to this codebase are identical:
 //! `lock()`/`read()`/`write()` never return `Result` and a panicked holder
 //! does not poison the lock for later users.
+//!
+//! The shim doubles as the instrumentation layer for the deterministic
+//! model checker (`cycada_check`, see [`schedule`]). When a thread managed
+//! by an active exploration takes a lock, the blocking acquisition is
+//! replaced by a `try_lock` loop that yields to the explorer at every
+//! attempt, so the explorer fully controls the interleaving and never
+//! loses a thread to an OS-level block. When no exploration is active —
+//! every normal build and test run — the instrumentation is one relaxed
+//! atomic load per lock/unlock.
 
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
+
+pub mod schedule;
+
+use schedule::Access;
 
 /// A mutual exclusion primitive (std-backed, non-poisoning API).
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
 
 /// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// Schedule-point object id; 0 when the acquisition was not modeled.
+    obj: usize,
+    inner: ManuallyDrop<sync::MutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
@@ -29,18 +48,53 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the mutex, blocking until it is available.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    #[inline]
+    fn obj_id(&self) -> usize {
+        // Cast through a thin pointer: `T` may be unsized and the identity
+        // of the lock is its address, not its metadata.
+        self as *const Self as *const u8 as usize
     }
 
-    /// Attempts to acquire the mutex without blocking.
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+    fn raw_try_lock(&self) -> Option<sync::MutexGuard<'_, T>> {
         match self.0.try_lock() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
         }
+    }
+
+    /// Acquires the mutex, blocking until it is available.
+    ///
+    /// Under an active `cycada_check` exploration (managed thread only)
+    /// this becomes a non-blocking modeled acquisition: yield to the
+    /// explorer, attempt `try_lock`, and on contention park as `Blocked`
+    /// until the holder's `Release` event re-enables this thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if schedule::managed() {
+            let obj = self.obj_id();
+            loop {
+                schedule::point("mutex", obj, Access::Acquire);
+                if let Some(g) = self.raw_try_lock() {
+                    return MutexGuard { obj, inner: ManuallyDrop::new(g) };
+                }
+                schedule::point("mutex", obj, Access::Blocked);
+            }
+        }
+        let g = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard { obj: 0, inner: ManuallyDrop::new(g) }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let obj = if schedule::managed() {
+            let obj = self.obj_id();
+            schedule::point("mutex.try", obj, Access::Acquire);
+            obj
+        } else {
+            0
+        };
+        self.raw_try_lock()
+            .map(|g| MutexGuard { obj, inner: ManuallyDrop::new(g) })
     }
 
     /// Returns a mutable reference to the underlying data.
@@ -49,14 +103,54 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Really unlock FIRST, then publish the Release event: a waiter
+        // woken by the event must find the lock available on its next
+        // try_lock or the modeled schedule livelocks.
+        // SAFETY: `inner` is never touched again after this drop.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.obj != 0 {
+            schedule::point("mutex", self.obj, Access::Release);
+        }
+    }
+}
+
 /// A reader-writer lock (std-backed, non-poisoning API).
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
 
 /// Shared-read guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    obj: usize,
+    inner: ManuallyDrop<sync::RwLockReadGuard<'a, T>>,
+}
+
 /// Exclusive-write guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    obj: usize,
+    inner: ManuallyDrop<sync::RwLockWriteGuard<'a, T>>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock protecting `value`.
@@ -71,19 +165,118 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquires shared read access.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    #[inline]
+    fn obj_id(&self) -> usize {
+        self as *const Self as *const u8 as usize
     }
 
-    /// Acquires exclusive write access.
+    fn raw_try_read(&self) -> Option<sync::RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    fn raw_try_write(&self) -> Option<sync::RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquires shared read access (modeled under `cycada_check`, see
+    /// [`Mutex::lock`]).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if schedule::managed() {
+            let obj = self.obj_id();
+            loop {
+                schedule::point("rwlock.read", obj, Access::Acquire);
+                if let Some(g) = self.raw_try_read() {
+                    return RwLockReadGuard { obj, inner: ManuallyDrop::new(g) };
+                }
+                schedule::point("rwlock.read", obj, Access::Blocked);
+            }
+        }
+        let g = self.0.read().unwrap_or_else(PoisonError::into_inner);
+        RwLockReadGuard { obj: 0, inner: ManuallyDrop::new(g) }
+    }
+
+    /// Acquires exclusive write access (modeled under `cycada_check`, see
+    /// [`Mutex::lock`]).
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        if schedule::managed() {
+            let obj = self.obj_id();
+            loop {
+                schedule::point("rwlock.write", obj, Access::Acquire);
+                if let Some(g) = self.raw_try_write() {
+                    return RwLockWriteGuard { obj, inner: ManuallyDrop::new(g) };
+                }
+                schedule::point("rwlock.write", obj, Access::Blocked);
+            }
+        }
+        let g = self.0.write().unwrap_or_else(PoisonError::into_inner);
+        RwLockWriteGuard { obj: 0, inner: ManuallyDrop::new(g) }
     }
 
     /// Returns a mutable reference to the underlying data.
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: `inner` is never touched again after this drop.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.obj != 0 {
+            schedule::point("rwlock.read", self.obj, Access::Release);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: `inner` is never touched again after this drop.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.obj != 0 {
+            schedule::point("rwlock.write", self.obj, Access::Release);
+        }
     }
 }
 
@@ -104,6 +297,15 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
     }
 
     #[test]

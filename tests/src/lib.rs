@@ -5,3 +5,10 @@
 //! SurfaceFlinger → display, plus the three headline OS mechanisms
 //! (diplomat usage patterns, thread impersonation, dynamic library
 //! replication) in combination.
+//!
+//! The [`fuzz`] module is the differential GLES conformance fuzzer: it
+//! generates seeded random call scripts and executes them through both
+//! the full diplomat path and the reference rasterizer, asserting
+//! byte-identical framebuffers and deterministic metered virtual time.
+
+pub mod fuzz;
