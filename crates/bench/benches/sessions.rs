@@ -86,6 +86,12 @@ fn bench_serial(c: &mut Criterion) {
 
 /// Full device boot: kernel, linker, vendor libraries, GPU, flinger, EAGL.
 fn bench_device_boot(c: &mut Criterion) {
+    // Warm up before sampling: the first boots pay one-time global costs
+    // (FnId interning, lazy statics, allocator arena growth) that used to
+    // land inside the measurement and drag the mean to ~3× the median.
+    for _ in 0..16 {
+        drop(CycadaDevice::boot_with_display(Some((W, H))).unwrap());
+    }
     c.measurement_time(Duration::from_millis(500));
     c.bench_function("sessions/device_boot", |b| {
         b.iter(|| CycadaDevice::boot_with_display(Some((W, H))).unwrap())

@@ -1,7 +1,10 @@
 //! Model suite for `cycada_check`: sanity models proving the explorer
 //! finds (and replays) schedule bugs, plus the project-protocol models —
 //! the PR 4 `ImpersonationGuard::end` partial-restore bug on its pre-fix
-//! code shape, the trace seqlock, and `SlotTable` chunk-boundary churn.
+//! code shape, the trace seqlock, `SlotTable` chunk-boundary churn, and
+//! the DESIGN.md §5f parallel-plane seams (sharded kernel thread table,
+//! sharded gralloc registry, the flinger present queue, GPU fence slots
+//! and the record-then-execute path).
 
 use std::sync::Arc;
 
@@ -396,6 +399,218 @@ fn seqlock_writer_overwrite_mid_snapshot_is_discarded() {
 // ---------------------------------------------------------------------
 // Satellite: SlotTable concurrent churn at the chunk boundary
 // ---------------------------------------------------------------------
+
+// ---------------------------------------------------------------------
+// Parallel-plane seams (DESIGN.md §5f): sharded kernel thread table,
+// sharded gralloc registry, flinger present queue, GPU fences and the
+// record-then-execute path
+// ---------------------------------------------------------------------
+
+#[test]
+fn kernel_thread_table_spawn_exit_churn() {
+    // Two workers churn the sharded thread table (spawn → persona flips →
+    // exit) while sharing it with the main thread's slot. Distinct tids,
+    // consistent persona reads and exact double-exit errors must hold
+    // under every schedule of the per-slot publication points.
+    let report = Checker::new()
+        .preemption_bound(1)
+        .exhaustive(|| {
+            let kernel = Arc::new(Kernel::for_platform(Platform::CycadaIos));
+            let main = kernel.spawn_process_main(Persona::Ios).unwrap();
+            let tids = Arc::new(Mutex::new(Vec::new()));
+            let worker = |kernel: Arc<Kernel>, tids: Arc<Mutex<Vec<cycada_kernel::SimTid>>>| {
+                move || {
+                    let tid = kernel.spawn_thread(main, Persona::Ios).unwrap();
+                    tids.lock().push(tid);
+                    kernel.set_persona(tid, Persona::Android).unwrap();
+                    assert_eq!(kernel.current_persona(tid).unwrap(), Persona::Android);
+                    kernel.exit_thread(tid).unwrap();
+                    assert!(kernel.exit_thread(tid).is_err(), "double exit must fail");
+                }
+            };
+            let (k1, k2, k3) = (kernel.clone(), kernel.clone(), kernel);
+            let (t1, t2, t3) = (tids.clone(), tids.clone(), tids);
+            Model::new()
+                .thread(worker(k1, t1))
+                .thread(worker(k2, t2))
+                .post(move || {
+                    let tids = t3.lock();
+                    assert_ne!(tids[0], tids[1], "a tid was issued twice");
+                    assert_eq!(
+                        k3.current_persona(main).unwrap(),
+                        Persona::Ios,
+                        "churn perturbed an unrelated thread's slot"
+                    );
+                })
+        })
+        .expect("sharded thread table must survive spawn/exit churn");
+    assert!(report.complete);
+}
+
+#[test]
+fn gralloc_registry_slot_churn() {
+    // Two sessions alloc/lookup/free through the real ioctl path against
+    // the sharded buffer registry: handles stay unique, freed slots stop
+    // resolving, nothing leaks.
+    use cycada_gpu::PixelFormat;
+    use cycada_gralloc::{GraphicBufferAllocator, GrallocDriver};
+
+    let report = Checker::new()
+        .preemption_bound(1)
+        .exhaustive(|| {
+            let kernel = Arc::new(Kernel::for_platform(Platform::CycadaAndroid));
+            let driver = GrallocDriver::new();
+            kernel.register_driver(driver.clone());
+            let main = kernel.spawn_process_main(Persona::Android).unwrap();
+            let alloc = Arc::new(GraphicBufferAllocator::new(kernel.clone(), driver.clone()));
+            let handles = Arc::new(Mutex::new(Vec::new()));
+            let worker = |tid: cycada_kernel::SimTid| {
+                let alloc = alloc.clone();
+                let driver = driver.clone();
+                let handles = handles.clone();
+                move || {
+                    let buf = alloc.allocate(tid, 2, 2, PixelFormat::Rgba8888).unwrap();
+                    handles.lock().push(buf.handle());
+                    assert!(
+                        driver.lookup(buf.handle()).unwrap().same_buffer(&buf),
+                        "registry slot aliases a stranger"
+                    );
+                    alloc.free(tid, buf.handle()).unwrap();
+                    assert!(driver.lookup(buf.handle()).is_err(), "freed slot still resolves");
+                }
+            };
+            let t1 = kernel.spawn_thread(main, Persona::Android).unwrap();
+            let t2 = kernel.spawn_thread(main, Persona::Android).unwrap();
+            let (d, h) = (driver.clone(), handles.clone());
+            Model::new()
+                .thread(worker(t1))
+                .thread(worker(t2))
+                .post(move || {
+                    let h = h.lock();
+                    assert_ne!(h[0], h[1], "a handle was issued twice");
+                    assert_eq!(d.live_buffers(), 0, "churn leaked a buffer");
+                })
+        })
+        .expect("sharded gralloc registry must survive alloc/free churn");
+    assert!(report.complete);
+}
+
+#[test]
+fn flinger_present_queue_latches_disjoint_layers() {
+    // Two presenters with disjoint layer rects race the ticketed present
+    // queue. The contended presenter's wait-and-revolunteer loop makes
+    // schedule counts unbounded, so this seam is explored with seeded
+    // random schedules rather than exhaustively (the loop always
+    // terminates under any fair schedule, which random choice is with
+    // probability 1).
+    use cycada_gpu::raster::Rect;
+    use cycada_gpu::{GpuDevice, PixelFormat, Rgba};
+    use cycada_gralloc::{GraphicBuffer, SurfaceFlinger};
+    use cycada_kernel::Display;
+    use cycada_sim::{GpuCostModel, VirtualClock};
+
+    let result = Checker::new().random(0x5F1A_6E12, 300, || {
+        let gpu = Arc::new(GpuDevice::new(VirtualClock::new(), GpuCostModel::tegra3()));
+        let sf = Arc::new(SurfaceFlinger::new(Display::new(4, 2), gpu));
+        let presenter = |handle: u64, x: u32, color: Rgba| {
+            let sf = sf.clone();
+            move || {
+                let buf = GraphicBuffer::new(handle, 2, 2, PixelFormat::Rgba8888).unwrap();
+                buf.image().fill(color);
+                sf.assign_layer(handle, Rect { x, y: 0, w: 2, h: 2 });
+                sf.post_buffer(&buf);
+            }
+        };
+        let sf2 = sf.clone();
+        Model::new()
+            .thread(presenter(1, 0, Rgba::RED))
+            .thread(presenter(2, 2, Rgba::GREEN))
+            .post(move || {
+                assert_eq!(sf2.display().frames_presented(), 2, "a frame was dropped");
+                assert_eq!(sf2.display().pixel(0, 0), [255, 0, 0, 255]);
+                assert_eq!(sf2.display().pixel(3, 1), [0, 255, 0, 255]);
+            })
+    });
+    result.expect("disjoint presenters must both latch under random schedules");
+}
+
+#[test]
+fn gpu_record_execute_clear_is_target_atomic() {
+    // Two recorded clears of the same target race their deferred
+    // execution. Each fill happens under one buffer-guard acquisition, so
+    // the final image is uniformly one of the two colors — a torn mix
+    // means the record path broke per-target atomicity.
+    use cycada_gpu::{CommandRecorder, DrawClass, GpuDevice, Image, PixelFormat, Rgba};
+    use cycada_sim::{GpuCostModel, VirtualClock};
+
+    let report = Checker::new()
+        .preemption_bound(2)
+        .exhaustive(|| {
+            let gpu = Arc::new(GpuDevice::new(VirtualClock::new(), GpuCostModel::tegra3()));
+            let target = Image::new(2, 2, PixelFormat::Rgba8888);
+            let clearer = |color: Rgba| {
+                let gpu = gpu.clone();
+                let target = target.clone();
+                move || {
+                    let mut rec = CommandRecorder::new();
+                    gpu.record_clear(&mut rec, &target, color, DrawClass::TwoD);
+                    gpu.execute(rec.finish());
+                }
+            };
+            let t = target.clone();
+            Model::new()
+                .thread(clearer(Rgba::RED))
+                .thread(clearer(Rgba::GREEN))
+                .post(move || {
+                    let bytes = t.to_rgba_vec();
+                    let red: Vec<u8> = [255, 0, 0, 255].repeat(4);
+                    let green: Vec<u8> = [0, 255, 0, 255].repeat(4);
+                    assert!(
+                        bytes == red || bytes == green,
+                        "racing recorded clears tore the target: {bytes:?}"
+                    );
+                })
+        })
+        .expect("recorded clears must stay per-target atomic");
+    assert!(report.complete);
+}
+
+#[test]
+fn gpu_fence_slot_churn_keeps_fences_independent() {
+    // Two threads churn distinct fences through the sharded fence table:
+    // gen → set → flush → test → delete. Ids must never collide and each
+    // thread's fence must signal regardless of the neighbor's schedule.
+    use cycada_gpu::{FenceCondition, GpuDevice};
+    use cycada_sim::{GpuCostModel, VirtualClock};
+
+    let report = Checker::new()
+        .preemption_bound(1)
+        .exhaustive(|| {
+            let gpu = Arc::new(GpuDevice::new(VirtualClock::new(), GpuCostModel::tegra3()));
+            let ids = Arc::new(Mutex::new(Vec::new()));
+            let worker = || {
+                let gpu = gpu.clone();
+                let ids = ids.clone();
+                move || {
+                    let f = gpu.gen_fence();
+                    ids.lock().push(f);
+                    assert!(gpu.set_fence(f, FenceCondition::AllCompleted));
+                    gpu.flush();
+                    assert_eq!(gpu.test_fence(f), Some(true), "fence failed to signal");
+                    gpu.delete_fence(f);
+                    assert!(!gpu.is_fence(f), "deleted fence still live");
+                }
+            };
+            let (w1, w2) = (worker(), worker());
+            let ids2 = ids.clone();
+            Model::new().thread(w1).thread(w2).post(move || {
+                let ids = ids2.lock();
+                assert_ne!(ids[0], ids[1], "a fence id was issued twice");
+            })
+        })
+        .expect("fence slot churn must keep fences independent");
+    assert!(report.complete);
+}
 
 #[test]
 fn slot_table_chunk_boundary_churn() {

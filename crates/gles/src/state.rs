@@ -1543,20 +1543,27 @@ impl GlesContext {
             self.record_error(GlError::InvalidFramebufferOperation);
             return 0;
         };
-        let quad = [
-            Vertex::textured([-1.0, -1.0, 0.0], [0.0, 1.0]),
-            Vertex::textured([1.0, -1.0, 0.0], [1.0, 1.0]),
-            Vertex::textured([1.0, 1.0, 0.0], [1.0, 0.0]),
-            Vertex::textured([-1.0, -1.0, 0.0], [0.0, 1.0]),
-            Vertex::textured([1.0, 1.0, 0.0], [1.0, 0.0]),
-            Vertex::textured([-1.0, 1.0, 0.0], [0.0, 0.0]),
-        ];
-        let pipeline = Pipeline {
-            texture: Some(image),
-            ..Pipeline::default()
+        self.device
+            .fullscreen_image(&target, image, self.draw_class)
+            .fragments
+    }
+
+    /// [`GlesContext::draw_fullscreen_image`] with the byte work deferred:
+    /// the render target is resolved and all costs/stats charged *now*, on
+    /// the issuing thread, while the rasterization is appended to `rec`
+    /// for a later [`cycada_gpu::GpuDevice::execute`] (DESIGN.md §5f).
+    /// Returns fragments shaded, exactly as the immediate path would.
+    pub fn record_fullscreen_image(
+        &mut self,
+        rec: &mut cycada_gpu::CommandRecorder,
+        image: &Image,
+    ) -> u64 {
+        let Some(target) = self.render_target() else {
+            self.record_error(GlError::InvalidFramebufferOperation);
+            return 0;
         };
         self.device
-            .draw(&target, None, &quad, None, &pipeline, self.draw_class)
+            .record_fullscreen_image(rec, &target, image, self.draw_class)
             .fragments
     }
 

@@ -1,17 +1,30 @@
 //! The GPU device front-end: command execution plus cost accounting.
+//!
+//! # The parallel plane (DESIGN.md §5f)
+//!
+//! The device holds **no global lock**. Sequence numbers and statistics
+//! are per-field atomics, fences live in a [`SlotTable`] (per-slot locks,
+//! lock-free dense lookup), and pixel work serializes only on the target
+//! image's own buffer guard — so sessions driving disjoint render targets
+//! never contend on the device. The record/execute split
+//! ([`GpuDevice::record_blit`] / [`GpuDevice::execute`]) lets the present
+//! chain build an immutable command list lock-free on the issuing thread
+//! (charging all virtual time there, keeping per-session meters exact) and
+//! defer the byte work to a single rasterization pass under per-buffer
+//! guards.
 
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
-
-use cycada_sim::{GpuCostModel, Nanos, VirtualClock};
+use cycada_sim::check::{self, Access};
+use cycada_sim::slots::SlotTable;
+use cycada_sim::{trace, GpuCostModel, Nanos, VirtualClock};
 
 use crate::fence::{Fence, FenceCondition, FenceId};
-use crate::format::Rgba;
+use crate::format::{PixelFormat, Rgba};
 use crate::image::Image;
 use crate::raster::{self, Pipeline, RasterMetrics, RasterThreads, Rect, Vertex};
+use crate::record::{CommandList, CommandRecorder, GpuCommand};
 
 /// Whether work goes down the 2D (vector/canvas) or 3D path. The two paths
 /// have different relative efficiency per device (Figure 6: the iPad is
@@ -49,14 +62,54 @@ pub struct GpuStats {
     pub presents: u64,
 }
 
-#[derive(Debug, Default)]
-struct DeviceInner {
-    next_fence: u64,
-    fences: HashMap<FenceId, Fence>,
-    submitted_seq: u64,
-    retired_seq: u64,
-    stats: GpuStats,
+/// [`GpuStats`] as independent relaxed atomics: every command bumps its
+/// own counters without touching a shared lock, and [`GpuDevice::stats`]
+/// assembles a (non-transactional) snapshot.
+#[derive(Default)]
+struct AtomicStats {
+    commands: AtomicU64,
+    draws: AtomicU64,
+    clears: AtomicU64,
+    blits: AtomicU64,
+    vertices: AtomicU64,
+    fragments: AtomicU64,
+    upload_bytes: AtomicU64,
+    fences_set: AtomicU64,
+    flushes: AtomicU64,
+    presents: AtomicU64,
 }
+
+impl AtomicStats {
+    fn snapshot(&self) -> GpuStats {
+        GpuStats {
+            commands: self.commands.load(Ordering::Relaxed),
+            draws: self.draws.load(Ordering::Relaxed),
+            clears: self.clears.load(Ordering::Relaxed),
+            blits: self.blits.load(Ordering::Relaxed),
+            vertices: self.vertices.load(Ordering::Relaxed),
+            fragments: self.fragments.load(Ordering::Relaxed),
+            upload_bytes: self.upload_bytes.load(Ordering::Relaxed),
+            fences_set: self.fences_set.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            presents: self.presents.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The full-screen textured quad every `presentRenderbuffer` draw uses
+/// (two triangles, UVs flipped so texture row 0 lands on image row 0).
+pub(crate) fn fullscreen_quad() -> [Vertex; 6] {
+    [
+        Vertex::textured([-1.0, -1.0, 0.0], [0.0, 1.0]),
+        Vertex::textured([1.0, -1.0, 0.0], [1.0, 1.0]),
+        Vertex::textured([1.0, 1.0, 0.0], [1.0, 0.0]),
+        Vertex::textured([-1.0, -1.0, 0.0], [0.0, 1.0]),
+        Vertex::textured([1.0, 1.0, 0.0], [1.0, 0.0]),
+        Vertex::textured([-1.0, 1.0, 0.0], [0.0, 0.0]),
+    ]
+}
+
+const QUAD_INDICES: [u32; 6] = [0, 1, 2, 3, 4, 5];
 
 /// The simulated GPU device.
 ///
@@ -70,8 +123,13 @@ pub struct GpuDevice {
     clock: VirtualClock,
     cost: GpuCostModel,
     raster_threads: AtomicUsize,
-    reference_raster: std::sync::atomic::AtomicBool,
-    inner: Mutex<DeviceInner>,
+    reference_raster: AtomicBool,
+    recording: AtomicBool,
+    next_fence: AtomicU64,
+    submitted_seq: AtomicU64,
+    retired_seq: AtomicU64,
+    fences: SlotTable<Fence>,
+    stats: AtomicStats,
 }
 
 impl GpuDevice {
@@ -81,8 +139,13 @@ impl GpuDevice {
             clock,
             cost,
             raster_threads: AtomicUsize::new(1),
-            reference_raster: std::sync::atomic::AtomicBool::new(false),
-            inner: Mutex::new(DeviceInner::default()),
+            reference_raster: AtomicBool::new(false),
+            recording: AtomicBool::new(true),
+            next_fence: AtomicU64::new(0),
+            submitted_seq: AtomicU64::new(0),
+            retired_seq: AtomicU64::new(0),
+            fences: SlotTable::new(),
+            stats: AtomicStats::default(),
         }
     }
 
@@ -100,13 +163,30 @@ impl GpuDevice {
         self.reference_raster.load(Ordering::Relaxed)
     }
 
+    /// Enables or disables present-chain command recording (on by
+    /// default). When enabled, callers that support it (the EAGL present
+    /// chain) build a [`CommandRecorder`] list lock-free on the issuing
+    /// thread and defer the byte work to one [`GpuDevice::execute`] pass;
+    /// when disabled they perform every command immediately. Pixels,
+    /// stats and virtual time are identical either way — the differential
+    /// fuzzer runs both modes.
+    pub fn set_recording(&self, on: bool) {
+        self.recording.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether present-chain command recording is enabled.
+    pub fn recording(&self) -> bool {
+        self.recording.load(Ordering::Relaxed)
+    }
+
     /// Sets how many scoped worker threads draw commands may rasterize
     /// with (default 1, i.e. serial).
     ///
     /// Tiling affects *host* wall time only: pixel output is byte-identical
     /// for any count (see [`RasterThreads`]) and virtual-time costs are
     /// charged from [`RasterMetrics`], so every simulated figure is
-    /// unchanged.
+    /// unchanged. Tiling engages only for draws whose estimated fill work
+    /// clears [`raster::TILE_MIN_PIXELS`] on a multicore host.
     pub fn set_raster_threads(&self, threads: RasterThreads) {
         self.raster_threads.store(threads.count(), Ordering::Relaxed);
     }
@@ -133,19 +213,26 @@ impl GpuDevice {
         }
     }
 
-    fn submit(&self, inner: &mut DeviceInner) {
-        inner.submitted_seq += 1;
-        inner.stats.commands += 1;
+    fn submit(&self) {
+        check::schedule_point(
+            "gpu.submit",
+            std::ptr::from_ref(&self.submitted_seq) as usize,
+            Access::Write,
+        );
+        self.submitted_seq.fetch_add(1, Ordering::AcqRel);
+        self.stats.commands.fetch_add(1, Ordering::Relaxed);
         self.clock.charge_ns(self.cost.command_submit_ns);
     }
 
     /// Clears `target` to a solid color.
     pub fn clear(&self, target: &Image, color: Rgba, class: DrawClass) {
-        let mut inner = self.inner.lock();
-        self.submit(&mut inner);
-        inner.stats.clears += 1;
-        drop(inner);
+        self.submit();
+        self.stats.clears.fetch_add(1, Ordering::Relaxed);
         target.fill(color);
+        self.charge_clear(target, class);
+    }
+
+    fn charge_clear(&self, target: &Image, class: DrawClass) {
         self.clock.charge_ns_f64(
             target.pixel_count() as f64 * self.cost.per_clear_pixel_ns * self.class_scale(class),
         );
@@ -166,10 +253,8 @@ impl GpuDevice {
         pipeline: &Pipeline<'_>,
         class: DrawClass,
     ) -> RasterMetrics {
-        let mut inner = self.inner.lock();
-        self.submit(&mut inner);
-        inner.stats.draws += 1;
-        drop(inner);
+        self.submit();
+        self.stats.draws.fetch_add(1, Ordering::Relaxed);
 
         let metrics = if self.reference_raster() {
             let owned: Vec<u32>;
@@ -191,16 +276,70 @@ impl GpuDevice {
             }
         };
 
+        self.charge_draw(metrics, class);
+        metrics
+    }
+
+    fn charge_draw(&self, metrics: RasterMetrics, class: DrawClass) {
         let scale = self.class_scale(class);
         self.clock.charge_ns_f64(
             (metrics.vertices as f64 * self.cost.per_vertex_ns
                 + metrics.fragments as f64 * self.cost.per_fragment_ns)
                 * scale,
         );
-        let mut inner = self.inner.lock();
-        inner.stats.vertices += metrics.vertices;
-        inner.stats.fragments += metrics.fragments;
+        self.stats.vertices.fetch_add(metrics.vertices, Ordering::Relaxed);
+        self.stats.fragments.fetch_add(metrics.fragments, Ordering::Relaxed);
+    }
+
+    /// Whether a full-screen textured-quad draw of `src` into `target`
+    /// can take the identity lane: at equal sizes with 4-byte formats the
+    /// quad's pixel output is byte-identical to an unscaled blit (nearest
+    /// sampling at pixel centers maps row/column exactly; asserted by a
+    /// sweep test), so the byte work can be a row copy while the metrics
+    /// come from the exact count-only [`raster::coverage_metrics`].
+    fn fullscreen_identity_eligible(&self, target: &Image, src: &Image) -> bool {
+        !self.reference_raster()
+            && !src.aliases(target)
+            && src.width() == target.width()
+            && src.height() == target.height()
+            && matches!(src.format(), PixelFormat::Rgba8888 | PixelFormat::Bgra8888)
+            && matches!(target.format(), PixelFormat::Rgba8888 | PixelFormat::Bgra8888)
+    }
+
+    /// Draws `src` as a full-screen textured quad into `target` — the
+    /// `aegl_bridge_draw_fbo_tex` present shape. Semantically identical
+    /// to a six-vertex [`GpuDevice::draw`] (same pixels, metrics, stats
+    /// and virtual time), but the common equal-size case takes the
+    /// identity lane described on `fullscreen_identity_eligible`.
+    pub fn fullscreen_image(&self, target: &Image, src: &Image, class: DrawClass) -> RasterMetrics {
+        let quad = fullscreen_quad();
+        let pipeline = Pipeline {
+            texture: Some(src),
+            ..Pipeline::default()
+        };
+        if !self.fullscreen_identity_eligible(target, src) {
+            return self.draw(target, None, &quad, None, &pipeline, class);
+        }
+        self.submit();
+        self.stats.draws.fetch_add(1, Ordering::Relaxed);
+        let metrics = raster::coverage_metrics(target, &quad, &QUAD_INDICES, &pipeline);
+        raster::blit(src, Rect::of_image(src), target, Rect::of_image(target));
+        self.charge_draw(metrics, class);
         metrics
+    }
+
+    /// Destination pixels a blit of these rectangles writes — the unit
+    /// copy costs are charged in, computable without performing the copy.
+    /// Pixels a blit between these rectangles is charged for (the rule
+    /// [`GpuDevice::blit`] applies): zero if either rectangle is empty,
+    /// else the destination area. Exposed so deferred presenters can
+    /// charge exactly what the synchronous path would.
+    pub fn blit_pixels(src_rect: Rect, dst_rect: Rect) -> u64 {
+        if src_rect.w == 0 || src_rect.h == 0 || dst_rect.w == 0 || dst_rect.h == 0 {
+            0
+        } else {
+            u64::from(dst_rect.w) * u64::from(dst_rect.h)
+        }
     }
 
     /// Copies (and scales/converts) a rectangle between images.
@@ -209,53 +348,173 @@ impl GpuDevice {
     ///
     /// Panics if either rectangle is out of bounds.
     pub fn blit(&self, src: &Image, src_rect: Rect, dst: &Image, dst_rect: Rect, class: DrawClass) {
-        let mut inner = self.inner.lock();
-        self.submit(&mut inner);
-        inner.stats.blits += 1;
-        drop(inner);
-        let pixels = if self.reference_raster() {
-            raster::reference::blit(src, src_rect, dst, dst_rect)
-        } else {
-            raster::blit(src, src_rect, dst, dst_rect)
-        };
+        self.charge_blit_pixels(Self::blit_pixels(src_rect, dst_rect), class);
+        self.blit_bytes(src, src_rect, dst, dst_rect);
+    }
+
+    /// The accounting half of a blit: submits the command, counts it and
+    /// charges `pixels` of copy cost — on the calling thread, which is
+    /// what keeps per-session virtual time exact when the byte work is
+    /// deferred (recorded present chains, the flinger's present queue).
+    pub fn charge_blit_pixels(&self, pixels: u64, class: DrawClass) {
+        self.submit();
+        self.stats.blits.fetch_add(1, Ordering::Relaxed);
         self.clock.charge_ns_f64(
             pixels as f64 * 4.0 * self.cost.per_copy_byte_ns * self.class_scale(class),
         );
     }
 
+    /// The byte half of a blit: performs the copy under the two buffer
+    /// guards, charging nothing. Pair with [`GpuDevice::charge_blit_pixels`]
+    /// on the issuing thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rectangle is out of bounds.
+    pub fn blit_bytes(&self, src: &Image, src_rect: Rect, dst: &Image, dst_rect: Rect) -> u64 {
+        if self.reference_raster() {
+            raster::reference::blit(src, src_rect, dst, dst_rect)
+        } else {
+            raster::blit(src, src_rect, dst, dst_rect)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Command recording (record on the issuing thread, execute deferred)
+    // ------------------------------------------------------------------
+
+    /// Records a clear: charges exactly what [`GpuDevice::clear`] charges
+    /// (on this thread, now) and defers the fill to execution.
+    pub fn record_clear(
+        &self,
+        rec: &mut CommandRecorder,
+        target: &Image,
+        color: Rgba,
+        class: DrawClass,
+    ) {
+        self.submit();
+        self.stats.clears.fetch_add(1, Ordering::Relaxed);
+        self.charge_clear(target, class);
+        rec.push(GpuCommand::Clear {
+            target: target.clone(),
+            color,
+        });
+    }
+
+    /// Records a blit: charges exactly what [`GpuDevice::blit`] charges
+    /// (on this thread, now) and defers the copy to execution.
+    pub fn record_blit(
+        &self,
+        rec: &mut CommandRecorder,
+        src: &Image,
+        src_rect: Rect,
+        dst: &Image,
+        dst_rect: Rect,
+        class: DrawClass,
+    ) {
+        self.charge_blit_pixels(Self::blit_pixels(src_rect, dst_rect), class);
+        rec.push(GpuCommand::Blit {
+            src: src.clone(),
+            src_rect,
+            dst: dst.clone(),
+            dst_rect,
+        });
+    }
+
+    /// Records a full-screen textured-quad draw. Metrics are computed
+    /// exactly (count-only rasterization) and charged on this thread;
+    /// the byte work is deferred. Shapes outside the identity lane
+    /// execute immediately instead — same pixels, charges and stats, so
+    /// callers need not care which happened.
+    pub fn record_fullscreen_image(
+        &self,
+        rec: &mut CommandRecorder,
+        target: &Image,
+        src: &Image,
+        class: DrawClass,
+    ) -> RasterMetrics {
+        if !self.fullscreen_identity_eligible(target, src) {
+            return self.fullscreen_image(target, src, class);
+        }
+        self.submit();
+        self.stats.draws.fetch_add(1, Ordering::Relaxed);
+        let quad = fullscreen_quad();
+        let pipeline = Pipeline {
+            texture: Some(src),
+            ..Pipeline::default()
+        };
+        let metrics = raster::coverage_metrics(target, &quad, &QUAD_INDICES, &pipeline);
+        self.charge_draw(metrics, class);
+        rec.push(GpuCommand::FullscreenImage {
+            src: src.clone(),
+            target: target.clone(),
+        });
+        metrics
+    }
+
+    /// Executes a recorded command list: pure byte work, serialized only
+    /// on each target's own buffer guard. All virtual time and stats were
+    /// charged at record time on the issuing thread, so execution can run
+    /// anywhere without perturbing any session's meter.
+    pub fn execute(&self, list: CommandList) {
+        for cmd in list.into_commands() {
+            match cmd {
+                GpuCommand::Clear { target, color } => {
+                    Self::probe_target_contention(&target);
+                    target.fill(color);
+                }
+                GpuCommand::Blit {
+                    src,
+                    src_rect,
+                    dst,
+                    dst_rect,
+                } => {
+                    Self::probe_target_contention(&dst);
+                    self.blit_bytes(&src, src_rect, &dst, dst_rect);
+                }
+                GpuCommand::FullscreenImage { src, target } => {
+                    Self::probe_target_contention(&target);
+                    self.blit_bytes(&src, Rect::of_image(&src), &target, Rect::of_image(&target));
+                }
+            }
+        }
+    }
+
+    /// Trace-plane probe: about to take a command target's byte guard,
+    /// observe whether another thread holds it right now — the lock wait
+    /// the record/execute split keeps off the issuing thread. One
+    /// uncontended `try_write` when free; a counter bump when not.
+    fn probe_target_contention(target: &Image) {
+        if target.buffer().try_write_guard().is_none() {
+            trace::bump(trace::Counter::DeviceLockWaits);
+        }
+    }
+
     /// Charges for uploading `bytes` of texel data from CPU memory (the
     /// caller performs the actual pixel writes through [`Image`]).
     pub fn charge_upload(&self, bytes: u64) {
-        let mut inner = self.inner.lock();
-        self.submit(&mut inner);
-        inner.stats.upload_bytes += bytes;
-        drop(inner);
+        self.submit();
+        self.stats.upload_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.clock
             .charge_ns_f64(bytes as f64 * self.cost.per_upload_byte_ns);
     }
 
     /// Charges for reading `bytes` back from GPU memory (`glReadPixels`).
     pub fn charge_readback(&self, bytes: u64) {
-        let mut inner = self.inner.lock();
-        self.submit(&mut inner);
-        drop(inner);
+        self.submit();
         self.clock
             .charge_ns_f64(bytes as f64 * self.cost.per_copy_byte_ns);
     }
 
     /// Charges the fixed cost of compiling and linking a shader program.
     pub fn charge_link_program(&self) {
-        let mut inner = self.inner.lock();
-        self.submit(&mut inner);
-        drop(inner);
+        self.submit();
         self.clock.charge_ns(self.cost.link_program_ns);
     }
 
     /// Charges the fixed cost of the display controller latching a frame.
     pub fn charge_present(&self) {
-        let mut inner = self.inner.lock();
-        inner.stats.presents += 1;
-        drop(inner);
+        self.stats.presents.fetch_add(1, Ordering::Relaxed);
         self.clock.charge_ns(self.cost.present_fixed_ns);
     }
 
@@ -270,39 +529,43 @@ impl GpuDevice {
 
     /// Generates a new (unset) fence object.
     pub fn gen_fence(&self) -> FenceId {
-        let mut inner = self.inner.lock();
-        inner.next_fence += 1;
-        let id = FenceId(inner.next_fence);
-        inner.fences.insert(
-            id,
-            Fence {
+        let id = FenceId(self.next_fence.fetch_add(1, Ordering::Relaxed) + 1);
+        check::schedule_point("gpu.fence", id.0 as usize, Access::Write);
+        self.fences.set(
+            id.0,
+            Some(Fence {
                 id,
                 condition: FenceCondition::default(),
                 set_at_seq: 0,
                 set: false,
-            },
+            }),
         );
         id
     }
 
     /// Returns `true` if `id` names a live fence.
     pub fn is_fence(&self, id: FenceId) -> bool {
-        self.inner.lock().fences.contains_key(&id)
+        check::schedule_point("gpu.fence", id.0 as usize, Access::Read);
+        self.fences.get(id.0).is_some()
     }
 
     /// Sets a fence into the command stream with the given condition.
     ///
-    /// Returns `false` if the fence does not exist.
+    /// Returns `false` if the fence does not exist. Concurrent set/delete
+    /// of the *same* fence from two threads is a data race in GL and gets
+    /// no stronger guarantee here (the set may resurrect the fence);
+    /// operations on distinct fences never interfere.
     pub fn set_fence(&self, id: FenceId, condition: FenceCondition) -> bool {
-        let mut inner = self.inner.lock();
-        let seq = inner.submitted_seq;
-        let Some(f) = inner.fences.get_mut(&id) else {
+        check::schedule_point("gpu.fence", id.0 as usize, Access::Write);
+        let seq = self.submitted_seq.load(Ordering::Acquire);
+        let Some(mut f) = self.fences.get(id.0) else {
             return false;
         };
         f.condition = condition;
         f.set_at_seq = seq;
         f.set = true;
-        inner.stats.fences_set += 1;
+        self.fences.set(id.0, Some(f));
+        self.stats.fences_set.fetch_add(1, Ordering::Relaxed);
         true
     }
 
@@ -310,11 +573,9 @@ impl GpuDevice {
     ///
     /// Returns `None` if the fence does not exist.
     pub fn test_fence(&self, id: FenceId) -> Option<bool> {
-        let inner = self.inner.lock();
-        inner
-            .fences
-            .get(&id)
-            .map(|f| !f.set || inner.retired_seq >= f.set_at_seq)
+        check::schedule_point("gpu.fence", id.0 as usize, Access::Read);
+        let f = self.fences.get(id.0)?;
+        Some(!f.set || self.retired_seq.load(Ordering::Acquire) >= f.set_at_seq)
     }
 
     /// Blocks until a fence signals: flushes the pipeline and retires all
@@ -331,33 +592,41 @@ impl GpuDevice {
 
     /// Deletes a fence. Unknown IDs are ignored (GL delete semantics).
     pub fn delete_fence(&self, id: FenceId) {
-        self.inner.lock().fences.remove(&id);
+        check::schedule_point("gpu.fence", id.0 as usize, Access::Write);
+        self.fences.set(id.0, None);
     }
 
     /// Flushes the pipeline: all submitted work retires, signaling fences.
     pub fn flush(&self) {
-        let mut inner = self.inner.lock();
-        inner.retired_seq = inner.submitted_seq;
-        inner.stats.flushes += 1;
-        drop(inner);
+        check::schedule_point(
+            "gpu.retire",
+            std::ptr::from_ref(&self.retired_seq) as usize,
+            Access::Write,
+        );
+        let submitted = self.submitted_seq.load(Ordering::Acquire);
+        // fetch_max: a concurrent flush that observed a later submit must
+        // not be rolled back by this one.
+        self.retired_seq.fetch_max(submitted, Ordering::AcqRel);
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         // Flush drains the command queue; cost scales with nothing we track
         // per-command, so charge a fixed submit cost.
         self.clock.charge_ns(self.cost.command_submit_ns);
     }
 
-    /// Snapshot of execution counters.
+    /// Snapshot of execution counters. Each counter is exact; the
+    /// snapshot as a whole is not transactional across concurrent
+    /// commands (counters are independent relaxed atomics).
     pub fn stats(&self) -> GpuStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
     }
 }
 
 impl fmt::Debug for GpuDevice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("GpuDevice")
-            .field("submitted", &inner.submitted_seq)
-            .field("retired", &inner.retired_seq)
-            .field("fences", &inner.fences.len())
+            .field("submitted", &self.submitted_seq.load(Ordering::Relaxed))
+            .field("retired", &self.retired_seq.load(Ordering::Relaxed))
+            .field("fences", &self.fences.len())
             .finish()
     }
 }
@@ -509,5 +778,180 @@ mod tests {
         gpu.blit(&src, Rect::of_image(&src), &dst, Rect::of_image(&dst), DrawClass::TwoD);
         assert_eq!(dst.pixel_rgba(7, 7).to_bytes(), [0, 255, 0, 255]);
         assert_eq!(gpu.stats().blits, 1);
+    }
+
+    /// Deterministic speckle so every pixel of a test image differs.
+    fn speckle(img: &Image, salt: u64) {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ salt;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let b = state.to_le_bytes();
+                img.set_pixel(x, y, Rgba::from_bytes([b[0], b[1], b[2], b[3]]));
+            }
+        }
+    }
+
+    #[test]
+    fn fullscreen_image_identical_to_textured_quad_draw() {
+        // The identity lane must match an explicit quad draw in pixels,
+        // metrics, stats and virtual time — across sizes (including ones
+        // with diagonal double coverage), 4-byte format pairs, and the
+        // ineligible fallback shapes (size mismatch, non-4-byte format).
+        let sizes = [(1u32, 1u32), (8, 8), (48, 48), (64, 48), (97, 61), (160, 120)];
+        let formats = [
+            (PixelFormat::Rgba8888, PixelFormat::Rgba8888),
+            (PixelFormat::Bgra8888, PixelFormat::Rgba8888),
+            (PixelFormat::Rgba8888, PixelFormat::Bgra8888),
+            (PixelFormat::Bgra8888, PixelFormat::Bgra8888),
+        ];
+        for &(w, h) in &sizes {
+            for &(sf, df) in &formats {
+                let src = Image::new(w, h, sf);
+                speckle(&src, u64::from(w) << 32 | u64::from(h));
+
+                let fast_gpu = device();
+                let fast_dst = Image::new(w, h, df);
+                let mf = fast_gpu.fullscreen_image(&fast_dst, &src, DrawClass::TwoD);
+
+                let slow_gpu = device();
+                let slow_dst = Image::new(w, h, df);
+                let quad = fullscreen_quad();
+                let pipeline = Pipeline { texture: Some(&src), ..Pipeline::default() };
+                let ms =
+                    slow_gpu.draw(&slow_dst, None, &quad, None, &pipeline, DrawClass::TwoD);
+
+                assert_eq!(mf, ms, "metrics diverged {w}x{h} {sf:?}->{df:?}");
+                assert_eq!(
+                    fast_dst.to_rgba_vec(),
+                    slow_dst.to_rgba_vec(),
+                    "pixels diverged {w}x{h} {sf:?}->{df:?}"
+                );
+                assert_eq!(fast_gpu.stats(), slow_gpu.stats());
+                assert_eq!(
+                    fast_gpu.clock().now_ns(),
+                    slow_gpu.clock().now_ns(),
+                    "virtual time diverged {w}x{h} {sf:?}->{df:?}"
+                );
+            }
+        }
+        // Ineligible: scaled (falls back to the real draw, still correct).
+        let src = Image::new(32, 32, PixelFormat::Rgba8888);
+        speckle(&src, 7);
+        let gpu = device();
+        let dst = Image::new(48, 40, PixelFormat::Rgba8888);
+        let m = gpu.fullscreen_image(&dst, &src, DrawClass::TwoD);
+        let gpu2 = device();
+        let dst2 = Image::new(48, 40, PixelFormat::Rgba8888);
+        let quad = fullscreen_quad();
+        let pipeline = Pipeline { texture: Some(&src), ..Pipeline::default() };
+        let m2 = gpu2.draw(&dst2, None, &quad, None, &pipeline, DrawClass::TwoD);
+        assert_eq!(m, m2);
+        assert_eq!(dst.to_rgba_vec(), dst2.to_rgba_vec());
+    }
+
+    #[test]
+    fn fullscreen_image_matches_reference_raster_mode() {
+        // Reference mode is ineligible for the identity lane; it must
+        // still agree with span mode byte-for-byte and cost-for-cost.
+        let src = Image::new(64, 48, PixelFormat::Bgra8888);
+        speckle(&src, 99);
+        let span_gpu = device();
+        let span_dst = Image::new(64, 48, PixelFormat::Rgba8888);
+        let ms = span_gpu.fullscreen_image(&span_dst, &src, DrawClass::TwoD);
+        let ref_gpu = device();
+        ref_gpu.set_reference_raster(true);
+        let ref_dst = Image::new(64, 48, PixelFormat::Rgba8888);
+        let mr = ref_gpu.fullscreen_image(&ref_dst, &src, DrawClass::TwoD);
+        assert_eq!(ms, mr);
+        assert_eq!(span_dst.to_rgba_vec(), ref_dst.to_rgba_vec());
+        assert_eq!(span_gpu.clock().now_ns(), ref_gpu.clock().now_ns());
+        assert_eq!(span_gpu.stats(), ref_gpu.stats());
+    }
+
+    #[test]
+    fn record_then_execute_matches_immediate() {
+        // A recorded present chain (clear + blit + fullscreen draw) must
+        // leave identical bytes, stats and virtual time to the immediate
+        // path — with all charges landing at record time.
+        let src = Image::new(64, 48, PixelFormat::Bgra8888);
+        speckle(&src, 3);
+        let staging_rec = Image::new(64, 48, PixelFormat::Rgba8888);
+        let staging_imm = Image::new(64, 48, PixelFormat::Rgba8888);
+        let back_rec = Image::new(64, 48, PixelFormat::Rgba8888);
+        let back_imm = Image::new(64, 48, PixelFormat::Rgba8888);
+
+        let rec_gpu = device();
+        let mut rec = CommandRecorder::new();
+        rec_gpu.record_clear(&mut rec, &back_rec, Rgba::BLUE, DrawClass::TwoD);
+        rec_gpu.record_blit(
+            &mut rec,
+            &src,
+            Rect::of_image(&src),
+            &staging_rec,
+            Rect::of_image(&staging_rec),
+            DrawClass::TwoD,
+        );
+        let m_rec = rec_gpu.record_fullscreen_image(
+            &mut rec,
+            &back_rec,
+            &staging_rec,
+            DrawClass::TwoD,
+        );
+        let charged_at_record = rec_gpu.clock().now_ns();
+        let stats_at_record = rec_gpu.stats();
+        // Nothing has been rasterized yet…
+        assert_eq!(back_rec.pixel_rgba(0, 0).to_bytes(), [0, 0, 0, 0]);
+        rec_gpu.execute(rec.finish());
+        // …and execution charges nothing further.
+        assert_eq!(rec_gpu.clock().now_ns(), charged_at_record);
+        assert_eq!(rec_gpu.stats(), stats_at_record);
+
+        let imm_gpu = device();
+        imm_gpu.clear(&back_imm, Rgba::BLUE, DrawClass::TwoD);
+        imm_gpu.blit(
+            &src,
+            Rect::of_image(&src),
+            &staging_imm,
+            Rect::of_image(&staging_imm),
+            DrawClass::TwoD,
+        );
+        let m_imm = imm_gpu.fullscreen_image(&back_imm, &staging_imm, DrawClass::TwoD);
+
+        assert_eq!(m_rec, m_imm);
+        assert_eq!(back_rec.to_rgba_vec(), back_imm.to_rgba_vec());
+        assert_eq!(staging_rec.to_rgba_vec(), staging_imm.to_rgba_vec());
+        assert_eq!(rec_gpu.clock().now_ns(), imm_gpu.clock().now_ns());
+        assert_eq!(rec_gpu.stats(), imm_gpu.stats());
+    }
+
+    #[test]
+    fn concurrent_fence_churn_is_race_free() {
+        use std::sync::Arc;
+        let gpu = Arc::new(device());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let gpu = Arc::clone(&gpu);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let f = gpu.gen_fence();
+                        assert!(gpu.is_fence(f));
+                        assert!(gpu.set_fence(f, FenceCondition::AllCompleted));
+                        gpu.flush();
+                        assert_eq!(gpu.test_fence(f), Some(true));
+                        gpu.delete_fence(f);
+                        assert!(!gpu.is_fence(f));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = gpu.stats();
+        assert_eq!(stats.fences_set, 8 * 200);
+        assert_eq!(stats.flushes, 8 * 200);
     }
 }

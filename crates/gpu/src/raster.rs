@@ -157,6 +157,34 @@ pub fn depth_buffer_for(target: &Image) -> Vec<f32> {
     vec![f32::INFINITY; target.pixel_count() as usize]
 }
 
+/// Minimum estimated fragment workload (summed triangle bounding-box
+/// pixels) below which band tiling is skipped and the draw runs serial.
+///
+/// Measured on the `fullscreen_tri` bench shape: a scoped worker costs
+/// roughly 15–30 µs to spawn and join, while the span lane fills on the
+/// order of a pixel per nanosecond — so a band must cover ≳30 k pixels
+/// before its thread pays for itself, and the crossover for the whole draw
+/// sits around 10⁵ pixels. Below this bound `RasterThreads(2/4)` was
+/// strictly slower than serial (the `BENCH_raster.json` non-win).
+pub const TILE_MIN_PIXELS: u64 = 1 << 17;
+
+/// The host's available parallelism, sampled once. Band tiling can only
+/// lose on a single-core host, so the gate consults this alongside
+/// [`TILE_MIN_PIXELS`].
+fn host_parallelism() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// Whether splitting `est_pixels` of fill work into bands is expected to
+/// beat the serial schedule on this host. Purely a wall-time heuristic:
+/// pixel output and virtual time are identical either way.
+pub fn tiling_profitable(est_pixels: u64) -> bool {
+    est_pixels >= TILE_MIN_PIXELS && host_parallelism() >= 2
+}
+
 /// Draws a triangle list: every 3 vertices form one triangle.
 ///
 /// Returns the work performed. Triangles with any vertex at `w <= 0`
@@ -205,7 +233,10 @@ pub fn draw_indexed(
 /// The target is split into `threads` disjoint horizontal bands rendered
 /// by scoped threads; see [`RasterThreads`] for the determinism argument.
 /// Output bytes, depth values and [`RasterMetrics`] are identical for any
-/// thread count.
+/// thread count. Tiling only engages when the estimated fill work clears
+/// [`TILE_MIN_PIXELS`] on a multicore host ([`tiling_profitable`]);
+/// smaller draws run serial regardless of `threads`, because the band
+/// spawn/join overhead exceeds the fill time.
 ///
 /// # Panics
 ///
@@ -213,11 +244,39 @@ pub fn draw_indexed(
 /// with a depth buffer of the wrong size.
 pub fn draw_indexed_tiled(
     target: &Image,
-    mut depth: Option<&mut [f32]>,
+    depth: Option<&mut [f32]>,
     vertices: &[Vertex],
     indices: &[u32],
     pipeline: &Pipeline<'_>,
     threads: RasterThreads,
+) -> RasterMetrics {
+    draw_indexed_impl(target, depth, vertices, indices, pipeline, threads.count(), true)
+}
+
+/// [`draw_indexed_tiled`] with an explicit band count and no
+/// profitability gate — the multi-band schedule must stay byte-identical
+/// even on hosts/draws where the public gate would pick the serial path,
+/// and tests exercise it through this entry.
+#[doc(hidden)]
+pub fn draw_indexed_forced_bands(
+    target: &Image,
+    depth: Option<&mut [f32]>,
+    vertices: &[Vertex],
+    indices: &[u32],
+    pipeline: &Pipeline<'_>,
+    bands: usize,
+) -> RasterMetrics {
+    draw_indexed_impl(target, depth, vertices, indices, pipeline, bands, false)
+}
+
+fn draw_indexed_impl(
+    target: &Image,
+    mut depth: Option<&mut [f32]>,
+    vertices: &[Vertex],
+    indices: &[u32],
+    pipeline: &Pipeline<'_>,
+    workers: usize,
+    gate: bool,
 ) -> RasterMetrics {
     if let Some(d) = depth.as_deref() {
         assert_eq!(
@@ -261,7 +320,16 @@ pub fn draw_indexed_tiled(
     let mut guard = target.buffer().write_guard();
     let bytes = &mut guard[..geom.row_bytes * height as usize];
 
-    let bands = threads.count().min(height.max(1) as usize);
+    let mut bands = workers.max(1).min(height.max(1) as usize);
+    if gate && bands > 1 {
+        let est: u64 = tris
+            .iter()
+            .map(|t| u64::from(t.max_x - t.min_x) * u64::from(t.max_y - t.min_y))
+            .sum();
+        if !tiling_profitable(est) {
+            bands = 1;
+        }
+    }
     if bands <= 1 {
         metrics.fragments = fill_band(
             bytes,
@@ -755,6 +823,80 @@ fn fill_row_span(
     Some(u64::from(hi - lo))
 }
 
+/// Computes the exact [`RasterMetrics`] that [`draw_indexed_tiled`] (or
+/// [`reference::draw_indexed`]) would report for this draw, without
+/// touching any pixel or depth bytes.
+///
+/// This is what lets the device charge a recorded draw's virtual-time cost
+/// on the *issuing* thread while the byte work is deferred: coverage does
+/// not depend on blending, texturing or the depth test (the fill loops
+/// count a fragment *before* the depth reject), so the count is a pure
+/// function of the prepared triangles. Each row's count is found with the
+/// same [`edge_interval`] search the span lane uses — O(log W) evaluations
+/// of the exact per-pixel predicate — falling back to a scalar predicate
+/// scan when an edge term is non-finite (where monotonicity, and thus the
+/// search, is not guaranteed).
+pub fn coverage_metrics(
+    target: &Image,
+    vertices: &[Vertex],
+    indices: &[u32],
+    pipeline: &Pipeline<'_>,
+) -> RasterMetrics {
+    let mut metrics = RasterMetrics::default();
+    let tris = prepare_triangles(target, vertices, indices, pipeline, &mut metrics);
+    for t in &tris {
+        let k0 = t.p2[1] - t.p1[1];
+        let d0 = t.p2[0] - t.p1[0];
+        let k1 = t.p0[1] - t.p2[1];
+        let d1 = t.p0[0] - t.p2[0];
+        let k2 = t.p1[1] - t.p0[1];
+        let d2 = t.p1[0] - t.p0[0];
+        for py in t.min_y..t.max_y {
+            let yc = py as f32 + 0.5;
+            let r0 = (yc - t.p1[1]) * d0;
+            let r1 = (yc - t.p2[1]) * d1;
+            let r2 = (yc - t.p0[1]) * d2;
+            metrics.fragments += row_coverage(t, (k0, k1, k2), (r0, r1, r2));
+        }
+    }
+    metrics
+}
+
+/// Counts the covered pixels of one triangle row with the span lane's
+/// interval search, or the scalar predicate when a term is non-finite.
+fn row_coverage(t: &ScreenTri, k: (f32, f32, f32), r: (f32, f32, f32)) -> u64 {
+    let (k0, k1, k2) = k;
+    let (r0, r1, r2) = r;
+    if t.min_x >= t.max_x {
+        return 0;
+    }
+    if [k0, k1, k2, r0, r1, r2, t.p0[0], t.p1[0], t.p2[0], t.area]
+        .iter()
+        .all(|v| v.is_finite())
+    {
+        let (l0, h0) =
+            edge_interval(|px| ((px as f32 + 0.5 - t.p1[0]) * k0 - r0) / t.area, t.min_x, t.max_x);
+        let (l1, h1) =
+            edge_interval(|px| ((px as f32 + 0.5 - t.p2[0]) * k1 - r1) / t.area, t.min_x, t.max_x);
+        let (l2, h2) =
+            edge_interval(|px| ((px as f32 + 0.5 - t.p0[0]) * k2 - r2) / t.area, t.min_x, t.max_x);
+        let lo = l0.max(l1).max(l2);
+        let hi = h0.min(h1).min(h2);
+        return u64::from(hi.saturating_sub(lo));
+    }
+    let mut n = 0u64;
+    for px in t.min_x..t.max_x {
+        let xc = px as f32 + 0.5;
+        let w0 = ((xc - t.p1[0]) * k0 - r0) / t.area;
+        let w1 = ((xc - t.p2[0]) * k1 - r1) / t.area;
+        let w2 = ((xc - t.p0[0]) * k2 - r2) / t.area;
+        if !(w0 < 0.0 || w1 < 0.0 || w2 < 0.0) {
+            n += 1;
+        }
+    }
+    n
+}
+
 /// Copies `src_rect` of `src` into `dst_rect` of `dst` with nearest-neighbour
 /// scaling and format conversion, under one read guard + one write guard.
 /// Returns the number of destination pixels written (the unit the device
@@ -794,6 +936,11 @@ pub fn blit(src: &Image, src_rect: Rect, dst: &Image, dst_rect: Rect) -> u64 {
     let sguard = src.buffer().read_guard();
     let mut dguard = dst.buffer().write_guard();
 
+    let swizzle_8888 = matches!(
+        (src.format(), dst.format()),
+        (PixelFormat::Rgba8888, PixelFormat::Bgra8888)
+            | (PixelFormat::Bgra8888, PixelFormat::Rgba8888)
+    );
     if same_format && src_rect.w == dst_rect.w && src_rect.h == dst_rect.h {
         // Unscaled same-format copy: one memcpy per row.
         let row_len = dst_rect.w as usize * dbpp;
@@ -801,6 +948,26 @@ pub fn blit(src: &Image, src_rect: Rect, dst: &Image, dst_rect: Rect) -> u64 {
             let soff = (src_rect.y + dy) as usize * srb + src_rect.x as usize * sbpp;
             let doff = (dst_rect.y + dy) as usize * drb + dst_rect.x as usize * dbpp;
             dguard[doff..doff + row_len].copy_from_slice(&sguard[soff..soff + row_len]);
+        }
+    } else if swizzle_8888 && src_rect.w == dst_rect.w && src_rect.h == dst_rect.h {
+        // Unscaled RGBA↔BGRA conversion: the two layouts differ only in
+        // bytes 0 and 2 swapped, and per-channel decode→encode is the
+        // byte identity (asserted exhaustively by tests), so the
+        // reference's float round trip reduces to a pure byte swizzle.
+        // This is the present chain's drawable→staging copy shape.
+        let row_len = dst_rect.w as usize * 4;
+        for dy in 0..dst_rect.h {
+            let soff = (src_rect.y + dy) as usize * srb + src_rect.x as usize * 4;
+            let doff = (dst_rect.y + dy) as usize * drb + dst_rect.x as usize * 4;
+            for (d, s) in dguard[doff..doff + row_len]
+                .chunks_exact_mut(4)
+                .zip(sguard[soff..soff + row_len].chunks_exact(4))
+            {
+                d[0] = s[2];
+                d[1] = s[1];
+                d[2] = s[0];
+                d[3] = s[3];
+            }
         }
     } else {
         for dy in 0..dst_rect.h {
@@ -1347,27 +1514,92 @@ mod tests {
         let indices = [0u32, 1, 2, 3, 4, 5];
         let m0 = draw_indexed(&serial, Some(&mut serial_depth), &scene(), &indices, &pipeline);
         for n in [1usize, 2, 4, 8, 64] {
+            // Forced bands: the profitability gate would run a draw this
+            // small serial, but the banded schedule itself must stay
+            // byte-identical on any host.
             let tiled = Image::new(40, 31, PixelFormat::Rgba8888);
             let mut tiled_depth = depth_buffer_for(&tiled);
-            let m = draw_indexed_tiled(
+            let m = draw_indexed_forced_bands(
                 &tiled,
                 Some(&mut tiled_depth),
                 &scene(),
                 &indices,
                 &pipeline,
-                RasterThreads(n),
+                n,
             );
-            assert_eq!(m, m0, "metrics diverged at {n} threads");
+            assert_eq!(m, m0, "metrics diverged at {n} bands");
             assert_eq!(
                 tiled.to_rgba_vec(),
                 serial.to_rgba_vec(),
-                "pixels diverged at {n} threads"
+                "pixels diverged at {n} bands"
             );
             assert_eq!(
                 tiled_depth.to_vec(),
                 serial_depth,
-                "depth diverged at {n} threads"
+                "depth diverged at {n} bands"
             );
+            // The gated public entry must agree with the serial draw too,
+            // whichever band count it picks.
+            let gated = Image::new(40, 31, PixelFormat::Rgba8888);
+            let mut gated_depth = depth_buffer_for(&gated);
+            let mg = draw_indexed_tiled(
+                &gated,
+                Some(&mut gated_depth),
+                &scene(),
+                &indices,
+                &pipeline,
+                RasterThreads(n),
+            );
+            assert_eq!(mg, m0, "gated metrics diverged at {n} threads");
+            assert_eq!(gated.to_rgba_vec(), serial.to_rgba_vec());
+            assert_eq!(gated_depth, serial_depth);
+        }
+    }
+
+    #[test]
+    fn tiling_gate_uses_pixel_threshold_and_host_cores() {
+        // Small draws never tile; huge draws tile only on multicore hosts.
+        assert!(!tiling_profitable(0));
+        assert!(!tiling_profitable(TILE_MIN_PIXELS - 1));
+        assert_eq!(tiling_profitable(TILE_MIN_PIXELS), host_parallelism() >= 2);
+        assert_eq!(tiling_profitable(u64::MAX), host_parallelism() >= 2);
+    }
+
+    #[test]
+    fn coverage_metrics_match_draw_metrics() {
+        // The count-only helper must report exactly what a real draw
+        // reports — including depth-rejected fragments (counted before
+        // the reject) and alpha-blended ones — for interpolated scenes,
+        // fullscreen textured quads (the present shape) and degenerate
+        // inputs.
+        let indices = [0u32, 1, 2, 3, 4, 5];
+        for (w, h) in [(33, 21), (40, 31), (64, 48), (1, 1), (97, 3)] {
+            let img = Image::new(w, h, PixelFormat::Rgba8888);
+            let mut depth = depth_buffer_for(&img);
+            let pipeline = Pipeline { depth_test: true, ..Pipeline::default() };
+            let counted = coverage_metrics(&img, &scene(), &indices, &pipeline);
+            let drawn =
+                draw_indexed(&img, Some(&mut depth), &scene(), &indices, &pipeline);
+            assert_eq!(counted, drawn, "{w}x{h} scene");
+        }
+        // Fullscreen textured quad at sizes where diagonal double
+        // coverage makes fragments exceed w*h.
+        let tex = Image::new(8, 8, PixelFormat::Rgba8888);
+        tex.fill(Rgba::GREEN);
+        let quad = [
+            Vertex::textured([-1.0, -1.0, 0.0], [0.0, 1.0]),
+            Vertex::textured([1.0, -1.0, 0.0], [1.0, 1.0]),
+            Vertex::textured([1.0, 1.0, 0.0], [1.0, 0.0]),
+            Vertex::textured([-1.0, -1.0, 0.0], [0.0, 1.0]),
+            Vertex::textured([1.0, 1.0, 0.0], [1.0, 0.0]),
+            Vertex::textured([-1.0, 1.0, 0.0], [0.0, 0.0]),
+        ];
+        for (w, h) in [(48, 48), (64, 48), (160, 120), (31, 17)] {
+            let img = Image::new(w, h, PixelFormat::Rgba8888);
+            let pipeline = Pipeline { texture: Some(&tex), ..Pipeline::default() };
+            let counted = coverage_metrics(&img, &quad, &indices, &pipeline);
+            let drawn = draw_indexed(&img, None, &quad, &indices, &pipeline);
+            assert_eq!(counted, drawn, "{w}x{h} quad");
         }
     }
 
@@ -1429,6 +1661,11 @@ mod tests {
             (PixelFormat::Rgba8888, PixelFormat::Rgba8888, Rect { x: 1, y: 2, w: 5, h: 4 }, Rect { x: 3, y: 1, w: 5, h: 4 }),
             (PixelFormat::Rgb565, PixelFormat::Rgb565, Rect { x: 0, y: 0, w: 7, h: 6 }, Rect { x: 2, y: 2, w: 3, h: 9 }),
             (PixelFormat::Bgra8888, PixelFormat::Rgb565, Rect { x: 0, y: 1, w: 8, h: 7 }, Rect { x: 0, y: 0, w: 12, h: 12 }),
+            // Unscaled RGBA↔BGRA pairs take the byte-swizzle row lane.
+            (PixelFormat::Bgra8888, PixelFormat::Rgba8888, Rect { x: 1, y: 2, w: 6, h: 5 }, Rect { x: 2, y: 3, w: 6, h: 5 }),
+            (PixelFormat::Rgba8888, PixelFormat::Bgra8888, Rect { x: 0, y: 0, w: 12, h: 12 }, Rect { x: 0, y: 0, w: 12, h: 12 }),
+            // …and scaled conversions between them stay per-pixel.
+            (PixelFormat::Rgba8888, PixelFormat::Bgra8888, Rect { x: 0, y: 0, w: 6, h: 6 }, Rect { x: 1, y: 1, w: 11, h: 9 }),
         ];
         for (sfmt, dfmt, sr, dr) in cases {
             let src = Image::new(12, 12, sfmt);

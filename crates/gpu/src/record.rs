@@ -1,0 +1,144 @@
+//! Per-session GLES command recording (DESIGN.md §5f).
+//!
+//! The hot present chain used to rasterize synchronously inside each
+//! diplomat call, serializing sessions on shared pixel buffers while they
+//! still held API-level locks. Recording splits every command in two:
+//!
+//! 1. **Record** — on the issuing thread, lock-free: the command's
+//!    virtual-time cost and statistics are charged immediately (costs are
+//!    analytic or count-only, so no pixel bytes are needed), and an owned
+//!    description is appended to a thread-local [`CommandRecorder`].
+//! 2. **Execute** — [`crate::GpuDevice::execute`] replays the finished
+//!    [`CommandList`] as pure byte work, serialized only on each target
+//!    buffer's own guard.
+//!
+//! Because the charge happens at record time on the issuing thread, each
+//! session's `VirtualClock` ledger is exactly what the immediate path
+//! would produce, regardless of where or when execution happens.
+//!
+//! Commands hold [`Image`] handles, which are cheap `Arc` clones of the
+//! underlying shared buffers — recording never copies pixels.
+
+use crate::format::Rgba;
+use crate::image::Image;
+use crate::raster::Rect;
+
+/// One recorded device command: everything needed to reproduce the byte
+/// effect later, with all accounting already done.
+#[derive(Debug, Clone)]
+pub enum GpuCommand {
+    /// Fill `target` with a solid color.
+    Clear {
+        /// The image to fill.
+        target: Image,
+        /// The fill color.
+        color: Rgba,
+    },
+    /// Copy (scale/convert) a rectangle between images.
+    Blit {
+        /// Source image.
+        src: Image,
+        /// Source rectangle.
+        src_rect: Rect,
+        /// Destination image.
+        dst: Image,
+        /// Destination rectangle.
+        dst_rect: Rect,
+    },
+    /// A full-screen textured-quad draw that passed the identity-lane
+    /// eligibility check at record time: executes as an unscaled blit
+    /// (byte-identical, see [`crate::GpuDevice::fullscreen_image`]).
+    FullscreenImage {
+        /// The image drawn as a full-screen quad.
+        src: Image,
+        /// The render target.
+        target: Image,
+    },
+}
+
+/// An immutable, finished sequence of recorded commands, ready for
+/// [`crate::GpuDevice::execute`].
+#[derive(Debug, Default)]
+pub struct CommandList {
+    commands: Vec<GpuCommand>,
+}
+
+impl CommandList {
+    /// Number of recorded commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the list holds no commands.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Consumes the list into its commands, in recording order.
+    pub fn into_commands(self) -> Vec<GpuCommand> {
+        self.commands
+    }
+}
+
+/// An in-progress recording. Owned by the issuing thread; never shared,
+/// so pushes are plain `Vec` appends with no synchronization.
+#[derive(Debug, Default)]
+pub struct CommandRecorder {
+    commands: Vec<GpuCommand>,
+}
+
+impl CommandRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        CommandRecorder::default()
+    }
+
+    /// Appends a command (used by the `record_*` device methods).
+    pub(crate) fn push(&mut self, cmd: GpuCommand) {
+        self.commands.push(cmd);
+    }
+
+    /// Number of commands recorded so far.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Freezes the recording into an immutable [`CommandList`].
+    pub fn finish(self) -> CommandList {
+        CommandList {
+            commands: self.commands,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::PixelFormat;
+
+    #[test]
+    fn recorder_orders_and_freezes_commands() {
+        let img = Image::new(2, 2, PixelFormat::Rgba8888);
+        let mut rec = CommandRecorder::new();
+        assert!(rec.is_empty());
+        rec.push(GpuCommand::Clear {
+            target: img.clone(),
+            color: Rgba::RED,
+        });
+        rec.push(GpuCommand::FullscreenImage {
+            src: img.clone(),
+            target: img.clone(),
+        });
+        assert_eq!(rec.len(), 2);
+        let list = rec.finish();
+        assert_eq!(list.len(), 2);
+        let cmds = list.into_commands();
+        assert!(matches!(cmds[0], GpuCommand::Clear { .. }));
+        assert!(matches!(cmds[1], GpuCommand::FullscreenImage { .. }));
+    }
+}

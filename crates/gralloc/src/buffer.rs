@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use cycada_gpu::{Image, PixelFormat};
+use cycada_sim::trace;
 
 use crate::error::GrallocError;
 use crate::Result;
@@ -127,6 +128,12 @@ impl GraphicBuffer {
         }
         if self.state.cpu_locked.swap(true, Ordering::AcqRel) {
             return Err(GrallocError::AlreadyLocked(self.state.handle));
+        }
+        // Trace-plane probe: the CPU just claimed the buffer while another
+        // thread holds its pixel guard (a GPU pass or a concurrent reader)
+        // — the wait the caller's first pixel access is about to pay.
+        if self.image.buffer().try_write_guard().is_none() {
+            trace::bump(trace::Counter::GrallocLockWaits);
         }
         Ok(())
     }

@@ -6,14 +6,13 @@
 //! buffer table. Handles cross the kernel boundary as plain words, exactly
 //! like real gralloc handles.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use cycada_gpu::PixelFormat;
+use cycada_sim::check::{self, Access};
+use cycada_sim::slots::SlotTable;
 use cycada_kernel::{IoctlDriver, IpcMessage, IpcReply, Kernel, KernelError, SimTid};
 
 use crate::buffer::GraphicBuffer;
@@ -47,8 +46,13 @@ fn word_to_format(word: u64) -> Option<PixelFormat> {
 }
 
 /// The kernel-side gralloc driver: owns the global buffer table.
+///
+/// Handles are dense (allocated sequentially from 1), so the table is a
+/// [`SlotTable`] sharded per handle: concurrent alloc/lookup/free from
+/// different sessions only ever touch their own slot, never a table-wide
+/// lock (DESIGN.md §5f).
 pub struct GrallocDriver {
-    buffers: Mutex<HashMap<u64, GraphicBuffer>>,
+    buffers: SlotTable<GraphicBuffer>,
     next_handle: AtomicU64,
 }
 
@@ -56,7 +60,7 @@ impl GrallocDriver {
     /// Creates the driver (register it with [`Kernel::register_driver`]).
     pub fn new() -> Arc<Self> {
         Arc::new(GrallocDriver {
-            buffers: Mutex::new(HashMap::new()),
+            buffers: SlotTable::new(),
             next_handle: AtomicU64::new(1),
         })
     }
@@ -64,29 +68,29 @@ impl GrallocDriver {
     /// Looks up a buffer by handle (used by EGL/SurfaceFlinger to resolve
     /// handles received over IPC).
     pub fn lookup(&self, handle: u64) -> Result<GraphicBuffer> {
+        check::schedule_point("gralloc.handle", handle as usize, Access::Read);
         self.buffers
-            .lock()
-            .get(&handle)
-            .cloned()
+            .get(handle)
             .ok_or(GrallocError::UnknownHandle(handle))
     }
 
     /// Number of live buffers (leak detection in tests).
     pub fn live_buffers(&self) -> usize {
-        self.buffers.lock().len()
+        self.buffers.len()
     }
 
     fn alloc(&self, width: u32, height: u32, format: PixelFormat) -> Result<GraphicBuffer> {
         let handle = self.next_handle.fetch_add(1, Ordering::Relaxed);
         let buffer = GraphicBuffer::new(handle, width, height, format)?;
-        self.buffers.lock().insert(handle, buffer.clone());
+        check::schedule_point("gralloc.handle", handle as usize, Access::Write);
+        self.buffers.set(handle, Some(buffer.clone()));
         Ok(buffer)
     }
 
     fn free(&self, handle: u64) -> Result<()> {
+        check::schedule_point("gralloc.handle", handle as usize, Access::Write);
         self.buffers
-            .lock()
-            .remove(&handle)
+            .set(handle, None)
             .map(|_| ())
             .ok_or(GrallocError::UnknownHandle(handle))
     }

@@ -10,14 +10,16 @@
 //! same-format layer is one `copy_from_slice` per row under a single lock
 //! pair, which is what a full-screen post onto the RGBA scanout hits.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use cycada_gpu::{raster::Rect, DrawClass, GpuDevice, Image};
 use cycada_kernel::Display;
+use cycada_sim::check::{self, Access};
+use cycada_sim::slots::SlotTable;
 use cycada_sim::trace;
 
 use crate::buffer::GraphicBuffer;
@@ -33,7 +35,27 @@ use crate::buffer::GraphicBuffer;
 pub struct SurfaceFlinger {
     display: Display,
     gpu: Arc<GpuDevice>,
-    layers: Mutex<HashMap<u64, Rect>>,
+    /// Per-handle layer assignments, sharded so presenters of different
+    /// buffers never contend on a table-wide lock (DESIGN.md §5f).
+    layers: SlotTable<Rect>,
+    /// Next present-queue ticket (ticket order is application order).
+    present_tickets: AtomicU64,
+    /// Tickets fully applied to the scanout.
+    present_drained: AtomicU64,
+    /// Published-but-not-yet-applied frames, keyed by ticket.
+    present_queue: SlotTable<Arc<PresentOp>>,
+    /// Held by the one thread currently applying queued frames. Acquired
+    /// only with `try_lock`: an uncontended presenter drains its own frame
+    /// synchronously, a contended one enqueues and waits.
+    drain_lock: Mutex<()>,
+}
+
+/// One queued frame: the blits to apply onto the scanout, in order. All
+/// virtual-time and statistics accounting already happened on the
+/// enqueuing thread, so applying an op is pure byte work.
+struct PresentOp {
+    blits: Vec<(Image, Rect, Rect)>,
+    done: AtomicBool,
 }
 
 impl SurfaceFlinger {
@@ -42,7 +64,11 @@ impl SurfaceFlinger {
         SurfaceFlinger {
             display,
             gpu,
-            layers: Mutex::new(HashMap::new()),
+            layers: SlotTable::new(),
+            present_tickets: AtomicU64::new(0),
+            present_drained: AtomicU64::new(0),
+            present_queue: SlotTable::new(),
+            drain_lock: Mutex::new(()),
         }
     }
 
@@ -51,45 +77,46 @@ impl SurfaceFlinger {
         &self.display
     }
 
-    /// Posts a full-screen image to the display (the swap-buffers path):
-    /// scales/converts the image onto the scanout and latches the frame.
-    pub fn post_image(&self, image: &Image) {
-        let _tspan = trace::span(trace::Category::Gralloc, "flinger_post_image");
-        trace::bump(trace::Counter::Compositions);
-        let scanout = Image::from_buffer(
+    /// The scanout wrapped as an image (aliases the display's memory).
+    fn scanout_image(&self) -> Image {
+        Image::from_buffer(
             self.display.width(),
             self.display.height(),
             cycada_gpu::PixelFormat::Rgba8888,
             self.display.width() as usize * 4,
             self.display.scanout().clone(),
-        );
-        self.gpu.blit(
-            image,
-            Rect::of_image(image),
-            &scanout,
-            Rect::of_image(&scanout),
-            DrawClass::TwoD,
-        );
-        self.gpu.charge_present();
-        self.display.frame_presented();
+        )
+    }
+
+    /// Posts a full-screen image to the display (the swap-buffers path):
+    /// scales/converts the image onto the scanout and latches the frame.
+    pub fn post_image(&self, image: &Image) {
+        let _tspan = trace::span(trace::Category::Gralloc, "flinger_post_image");
+        trace::bump(trace::Counter::Compositions);
+        let scanout = self.scanout_image();
+        let dst = Rect::of_image(&scanout);
+        self.present(vec![(image.clone(), Rect::of_image(image), dst)]);
     }
 
     /// Assigns a destination rectangle to a buffer handle: subsequent
     /// posts of that buffer compose into the rectangle rather than
     /// covering the panel.
     pub fn assign_layer(&self, handle: u64, rect: Rect) {
-        self.layers.lock().insert(handle, rect);
+        check::schedule_point("flinger.layer", handle as usize, Access::Write);
+        self.layers.set(handle, Some(rect));
     }
 
     /// Removes a buffer handle's layer assignment (posts become
     /// full-screen again).
     pub fn clear_layer(&self, handle: u64) {
-        self.layers.lock().remove(&handle);
+        check::schedule_point("flinger.layer", handle as usize, Access::Write);
+        self.layers.set(handle, None);
     }
 
     /// The layer rectangle assigned to a buffer handle, if any.
     pub fn layer_rect(&self, handle: u64) -> Option<Rect> {
-        self.layers.lock().get(&handle).copied()
+        check::schedule_point("flinger.layer", handle as usize, Access::Read);
+        self.layers.get(handle)
     }
 
     /// Posts a client GraphicBuffer (the HW Composer layer path). If the
@@ -108,19 +135,94 @@ impl SurfaceFlinger {
         let mut tspan = trace::span(trace::Category::Gralloc, "flinger_composite");
         tspan.set_arg(layers.len() as u64);
         trace::bump(trace::Counter::Compositions);
-        let scanout = Image::from_buffer(
-            self.display.width(),
-            self.display.height(),
-            cycada_gpu::PixelFormat::Rgba8888,
-            self.display.width() as usize * 4,
-            self.display.scanout().clone(),
-        );
-        for (image, dst) in layers {
+        let blits = layers
+            .iter()
+            .map(|(image, dst)| ((*image).clone(), Rect::of_image(image), *dst))
+            .collect();
+        self.present(blits);
+    }
+
+    /// Queues one frame and waits for it to reach the scanout.
+    ///
+    /// All accounting — per-layer copy cost, the fixed present cost, the
+    /// frame counter — is charged here on the issuing thread **before**
+    /// the frame is queued, so each session's virtual-time ledger is
+    /// exactly what the old synchronous compositor produced no matter
+    /// which thread ends up doing the byte work. The queue is a ticket
+    /// sequence over a [`SlotTable`]; whoever wins `drain_lock` applies
+    /// pending frames in ticket order while contended presenters spin on
+    /// their own frame's `done` flag (counted as
+    /// [`trace::Counter::FlingerLockWaits`]).
+    fn present(&self, blits: Vec<(Image, Rect, Rect)>) {
+        for (_, src_rect, dst_rect) in &blits {
             self.gpu
-                .blit(image, Rect::of_image(image), &scanout, *dst, DrawClass::TwoD);
+                .charge_blit_pixels(GpuDevice::blit_pixels(*src_rect, *dst_rect), DrawClass::TwoD);
         }
         self.gpu.charge_present();
         self.display.frame_presented();
+
+        let ticket = self.present_tickets.fetch_add(1, Ordering::AcqRel);
+        let op = Arc::new(PresentOp {
+            blits,
+            done: AtomicBool::new(false),
+        });
+        check::schedule_point("flinger.present", ticket as usize, Access::Write);
+        self.present_queue.set(ticket, Some(op.clone()));
+        self.drain();
+        let mut contended = false;
+        while !op.done.load(Ordering::Acquire) {
+            if !contended {
+                contended = true;
+                trace::bump(trace::Counter::FlingerLockWaits);
+            }
+            std::thread::yield_now();
+            // The drainer may have exited before our ticket became
+            // visible; keep volunteering until our frame is applied.
+            self.drain();
+        }
+    }
+
+    /// Applies queued frames in ticket order if no other thread already
+    /// is. Returns with the queue either empty or owned by another
+    /// drainer that is guaranteed to observe any ticket published before
+    /// this call.
+    fn drain(&self) {
+        loop {
+            let Some(guard) = self.drain_lock.try_lock() else {
+                return;
+            };
+            loop {
+                let next = self.present_drained.load(Ordering::Acquire);
+                if next >= self.present_tickets.load(Ordering::Acquire) {
+                    break;
+                }
+                // The ticket is claimed before the op is published; wait
+                // out the enqueuer's tiny publication window.
+                let op = loop {
+                    check::schedule_point("flinger.present", next as usize, Access::Read);
+                    if let Some(op) = self.present_queue.get(next) {
+                        break op;
+                    }
+                    std::thread::yield_now();
+                };
+                let scanout = self.scanout_image();
+                for (src, src_rect, dst_rect) in &op.blits {
+                    self.gpu.blit_bytes(src, *src_rect, &scanout, *dst_rect);
+                }
+                op.done.store(true, Ordering::Release);
+                self.present_queue.set(next, None);
+                self.present_drained.store(next + 1, Ordering::Release);
+            }
+            drop(guard);
+            // A ticket published after our last emptiness check but before
+            // the lock release would be stranded if its enqueuer lost the
+            // try_lock race to us; recheck and re-volunteer.
+            if self.present_drained.load(Ordering::Acquire)
+                >= self.present_tickets.load(Ordering::Acquire)
+            {
+                return;
+            }
+        }
     }
 }
 
@@ -204,6 +306,46 @@ mod tests {
         assert_eq!(sf.display().pixel(0, 0), [255, 255, 255, 255]);
         assert_eq!(sf.display().pixel(7, 7), [255, 0, 0, 255]);
         assert_eq!(sf.display().frames_presented(), 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_posts_latch_every_frame() {
+        // Four presenters own one quadrant each of a 16x16 panel and post
+        // concurrently through the ticketed present queue. Every frame
+        // must latch, and each quadrant must end with its owner's color
+        // (disjoint rects commute, so any ticket order is correct).
+        let gpu = Arc::new(GpuDevice::new(VirtualClock::new(), GpuCostModel::tegra3()));
+        let sf = Arc::new(SurfaceFlinger::new(Display::new(16, 16), gpu));
+        let colors = [Rgba::RED, Rgba::GREEN, Rgba::BLUE, Rgba::WHITE];
+        const POSTS: usize = 25;
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let sf = sf.clone();
+                let color = colors[i as usize];
+                std::thread::spawn(move || {
+                    let buf = GraphicBuffer::new(i + 1, 8, 8, PixelFormat::Rgba8888).unwrap();
+                    buf.image().fill(color);
+                    let rect = Rect {
+                        x: (i as u32 % 2) * 8,
+                        y: (i as u32 / 2) * 8,
+                        w: 8,
+                        h: 8,
+                    };
+                    sf.assign_layer(buf.handle(), rect);
+                    for _ in 0..POSTS {
+                        sf.post_buffer(&buf);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sf.display().frames_presented(), 4 * POSTS as u64);
+        for (i, color) in colors.iter().enumerate() {
+            let (x, y) = ((i as u32 % 2) * 8 + 3, (i as u32 / 2) * 8 + 3);
+            assert_eq!(sf.display().pixel(x, y), color.to_bytes(), "quadrant {i}");
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use cycada_sim::check::{self, Access};
+use cycada_sim::slots::SlotTable;
 use cycada_sim::{DeviceProfile, Nanos, Persona, Platform, VirtualClock};
 
 use crate::display::Display;
@@ -66,7 +68,11 @@ pub struct Kernel {
     profile: DeviceProfile,
     clock: VirtualClock,
     display: Display,
-    threads: Mutex<HashMap<SimTid, ThreadState>>,
+    /// Thread table, sharded per-tid: lookups touch only the target
+    /// thread's slot, so syscalls from different simulated threads never
+    /// contend on a table-wide lock (DESIGN.md §5f). Each entry carries its
+    /// own `Mutex` because `ThreadState` is mutated in place.
+    threads: SlotTable<Arc<Mutex<ThreadState>>>,
     next_tid: AtomicU64,
     services: RwLock<HashMap<String, Arc<dyn KernelService>>>,
     drivers: RwLock<HashMap<String, Arc<dyn IoctlDriver>>>,
@@ -91,7 +97,7 @@ impl Kernel {
             profile,
             clock: VirtualClock::new(),
             display,
-            threads: Mutex::new(HashMap::new()),
+            threads: SlotTable::new(),
             next_tid: AtomicU64::new(1),
             services: RwLock::new(HashMap::new()),
             drivers: RwLock::new(HashMap::new()),
@@ -131,9 +137,7 @@ impl Kernel {
         self.check_persona(persona)?;
         let tid = SimTid(self.next_tid.fetch_add(1, Ordering::Relaxed));
         let group = ThreadGroup { leader: tid };
-        self.threads
-            .lock()
-            .insert(tid, ThreadState::new(tid, group, persona));
+        self.insert_thread(ThreadState::new(tid, group, persona));
         Ok(tid)
     }
 
@@ -146,13 +150,9 @@ impl Kernel {
     /// [`KernelError::UnsupportedPersona`] if `persona` is unsupported.
     pub fn spawn_thread(&self, group_member: SimTid, persona: Persona) -> Result<SimTid> {
         self.check_persona(persona)?;
-        let mut threads = self.threads.lock();
-        let group = threads
-            .get(&group_member)
-            .ok_or(KernelError::NoSuchThread(group_member))?
-            .group;
+        let group = self.with_thread(group_member, |t| t.group)?;
         let tid = SimTid(self.next_tid.fetch_add(1, Ordering::Relaxed));
-        threads.insert(tid, ThreadState::new(tid, group, persona));
+        self.insert_thread(ThreadState::new(tid, group, persona));
         Ok(tid)
     }
 
@@ -162,9 +162,9 @@ impl Kernel {
     ///
     /// Returns [`KernelError::NoSuchThread`] if the thread does not exist.
     pub fn exit_thread(&self, tid: SimTid) -> Result<()> {
+        check::schedule_point("kernel.thread", tid.0 as usize, Access::Write);
         self.threads
-            .lock()
-            .remove(&tid)
+            .set(tid.0, None)
             .map(|_| ())
             .ok_or(KernelError::NoSuchThread(tid))
     }
@@ -234,14 +234,12 @@ impl Kernel {
     /// [`KernelError::UnsupportedPersona`].
     pub fn set_persona(&self, tid: SimTid, persona: Persona) -> Result<()> {
         self.check_persona(persona)?;
-        let mut threads = self.threads.lock();
-        let thread = threads
-            .get_mut(&tid)
-            .ok_or(KernelError::NoSuchThread(tid))?;
-        let from = thread.current;
-        thread.current = persona;
-        thread.visited[persona.index()] = true;
-        drop(threads);
+        let from = self.with_thread_mut(tid, |thread| {
+            let from = thread.current;
+            thread.current = persona;
+            thread.visited[persona.index()] = true;
+            from
+        })?;
         self.charge_trap(from);
         self.counts.set_persona.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -540,12 +538,25 @@ impl Kernel {
         }
     }
 
-    fn with_thread<R>(&self, tid: SimTid, f: impl FnOnce(&ThreadState) -> R) -> Result<R> {
+    fn insert_thread(&self, state: ThreadState) {
+        let tid = state.tid;
+        check::schedule_point("kernel.thread", tid.0 as usize, Access::Write);
         self.threads
-            .lock()
-            .get(&tid)
-            .map(f)
+            .set(tid.0, Some(Arc::new(Mutex::new(state))));
+    }
+
+    /// Looks up a thread's slot. The returned `Arc` keeps the state alive
+    /// even if the thread exits concurrently — mirroring a real kernel,
+    /// where an in-flight syscall pins the task struct it already resolved.
+    fn thread_slot(&self, tid: SimTid) -> Result<Arc<Mutex<ThreadState>>> {
+        check::schedule_point("kernel.thread", tid.0 as usize, Access::Read);
+        self.threads
+            .get(tid.0)
             .ok_or(KernelError::NoSuchThread(tid))
+    }
+
+    fn with_thread<R>(&self, tid: SimTid, f: impl FnOnce(&ThreadState) -> R) -> Result<R> {
+        Ok(f(&self.thread_slot(tid)?.lock()))
     }
 
     fn with_thread_mut<R>(
@@ -553,11 +564,7 @@ impl Kernel {
         tid: SimTid,
         f: impl FnOnce(&mut ThreadState) -> R,
     ) -> Result<R> {
-        self.threads
-            .lock()
-            .get_mut(&tid)
-            .map(f)
-            .ok_or(KernelError::NoSuchThread(tid))
+        Ok(f(&mut self.thread_slot(tid)?.lock()))
     }
 }
 
@@ -565,7 +572,7 @@ impl fmt::Debug for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Kernel")
             .field("platform", &self.profile.platform)
-            .field("threads", &self.threads.lock().len())
+            .field("threads", &self.threads.len())
             .field("now_ns", &self.clock.now_ns())
             .finish()
     }
@@ -768,6 +775,45 @@ mod tests {
         let reply = k.ioctl(tid, "null", 9, IpcMessage::default()).unwrap();
         assert_eq!(reply.word(0).unwrap(), 9);
         assert_eq!(k.syscall_counts().ioctl, 1);
+    }
+
+    #[test]
+    fn concurrent_thread_churn_is_race_free() {
+        // N host threads hammer the sharded thread table: spawn, switch
+        // personas, touch TLS, and exit. Counts must come out exact and no
+        // slot may be corrupted by a neighbor.
+        let k = Arc::new(cycada());
+        let root = k.spawn_process_main(Persona::Ios).unwrap();
+        const WORKERS: usize = 8;
+        const ROUNDS: usize = 100;
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let k = k.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let tid = k.spawn_thread(root, Persona::Ios).unwrap();
+                        k.set_persona(tid, Persona::Android).unwrap();
+                        k.set_errno(tid, Persona::Android, 7).unwrap();
+                        assert_eq!(k.errno(tid, Persona::Android).unwrap(), 7);
+                        k.set_persona(tid, Persona::Ios).unwrap();
+                        assert!(k.has_visited(tid, Persona::Android).unwrap());
+                        k.exit_thread(tid).unwrap();
+                        assert_eq!(
+                            k.exit_thread(tid),
+                            Err(KernelError::NoSuchThread(tid))
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let spawned = (WORKERS * ROUNDS) as u64;
+        assert_eq!(k.syscall_counts().set_persona, 2 * spawned);
+        // Every worker thread exited; only the root process remains.
+        assert_eq!(k.current_persona(root).unwrap(), Persona::Ios);
+        assert!(format!("{k:?}").contains("threads: 1"), "{k:?}");
     }
 
     #[test]

@@ -122,6 +122,20 @@ impl SharedBuffer {
         BufferWriteGuard(self.data.write())
     }
 
+    /// Non-blocking [`SharedBuffer::read_guard`]: `None` if a writer holds
+    /// the lock right now.
+    pub fn try_read_guard(&self) -> Option<BufferReadGuard<'_>> {
+        self.data.try_read().map(BufferReadGuard)
+    }
+
+    /// Non-blocking [`SharedBuffer::write_guard`]: `None` if any reader or
+    /// writer holds the lock right now. The trace plane's contention
+    /// counters use a failed attempt as a point-in-time "this buffer is
+    /// busy" observation.
+    pub fn try_write_guard(&self) -> Option<BufferWriteGuard<'_>> {
+        self.data.try_write().map(BufferWriteGuard)
+    }
+
     /// Copies the whole buffer out. Intended for test assertions, not for
     /// the simulated fast path (which would defeat the zero-copy model).
     pub fn to_vec(&self) -> Vec<u8> {

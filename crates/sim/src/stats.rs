@@ -10,7 +10,9 @@
 //!
 //! Recording sits on the per-call diplomat dispatch path, so it must not
 //! serialize the simulated stack. Storage is a set of cache-line-padded
-//! shards, each a dense table of atomic `(calls, ns)` slots keyed by
+//! shards (boxed lazily on first record, so an idle collector — and thus
+//! `attach_session` — costs a few hundred bytes, not tens of kilobytes),
+//! each a dense table of atomic `(calls, ns)` slots keyed by
 //! [`FnId`]; every thread is assigned a shard round-robin and records with
 //! two relaxed `fetch_add`s plus two running-total bumps on its own shard.
 //! No locks, no hashing, no allocation in the steady state.
@@ -23,7 +25,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::intern::{CachePadded, FnDense, FnId};
 use crate::Nanos;
@@ -80,17 +82,17 @@ struct Shard {
     total_ns: AtomicU64,
 }
 
-#[derive(Debug)]
+/// Shards are allocated on a thread's first record, not up front: every
+/// session carries its own collector, and `attach_session` must stay a
+/// sub-microsecond operation. An eager `[Shard; SHARDS]` is ~65 KiB of
+/// `OnceLock` arrays per collector; allocating and freeing that block on
+/// every attach fragments the heap badly enough to turn attach from ~10 µs
+/// into milliseconds once a device has churned a few thousand sessions.
+/// Lazily boxed shards make an idle collector a couple of hundred bytes and
+/// a recording session pay only for the shards its threads actually touch.
+#[derive(Debug, Default)]
 struct Storage {
-    shards: [CachePadded<Shard>; SHARDS],
-}
-
-impl Default for Storage {
-    fn default() -> Self {
-        Storage {
-            shards: std::array::from_fn(|_| CachePadded::new(Shard::default())),
-        }
-    }
+    shards: [OnceLock<Box<CachePadded<Shard>>>; SHARDS],
 }
 
 impl Storage {
@@ -104,7 +106,8 @@ impl Storage {
     }
 
     fn add(&self, id: FnId, calls: u64, ns: Nanos) {
-        let shard = &self.shards[Self::home_shard()];
+        let shard = self.shards[Self::home_shard()]
+            .get_or_init(|| Box::new(CachePadded::new(Shard::default())));
         let slot = shard.slots.slot(id);
         slot.calls.fetch_add(calls, Ordering::Relaxed);
         slot.ns.fetch_add(ns, Ordering::Relaxed);
@@ -112,10 +115,15 @@ impl Storage {
         shard.total_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// The shards that have been touched so far.
+    fn live_shards(&self) -> impl Iterator<Item = &Shard> {
+        self.shards.iter().filter_map(|s| s.get().map(|b| &***b))
+    }
+
     /// Sums one function's record across all shards.
     fn record_for(&self, id: FnId) -> FunctionRecord {
         let mut rec = FunctionRecord::default();
-        for shard in &self.shards {
+        for shard in self.live_shards() {
             if let Some(slot) = shard.slots.peek(id) {
                 rec.calls += slot.calls.load(Ordering::Relaxed);
                 rec.total_ns += slot.ns.load(Ordering::Relaxed);
@@ -190,8 +198,7 @@ impl FunctionStats {
     /// the running per-shard totals, no table scan.
     pub fn total_ns(&self) -> Nanos {
         self.inner
-            .shards
-            .iter()
+            .live_shards()
             .map(|s| s.total_ns.load(Ordering::Relaxed))
             .sum()
     }
@@ -199,8 +206,7 @@ impl FunctionStats {
     /// Total number of recorded calls across all functions. O(shards).
     pub fn total_calls(&self) -> u64 {
         self.inner
-            .shards
-            .iter()
+            .live_shards()
             .map(|s| s.total_calls.load(Ordering::Relaxed))
             .sum()
     }
@@ -275,7 +281,7 @@ impl FunctionStats {
 
     /// Clears all recorded data.
     pub fn reset(&self) {
-        for shard in &self.inner.shards {
+        for shard in self.inner.live_shards() {
             for id in FnId::all() {
                 if let Some(slot) = shard.slots.peek(id) {
                     slot.calls.store(0, Ordering::Relaxed);

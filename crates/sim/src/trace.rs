@@ -141,11 +141,21 @@ pub enum Counter {
     /// already torn down (thread exit) — each one is a scan entry that
     /// outlives its bridge until the host thread dies.
     RowBytesTeardownSkips,
+    /// GPU device contention: a command-list execution found its target
+    /// buffer's guard held and had to wait (DESIGN.md §5f). Zero when
+    /// sessions render to disjoint buffers.
+    DeviceLockWaits,
+    /// Gralloc contention: a CPU lock/unlock of a GraphicBuffer found the
+    /// pixel guard held by another thread.
+    GrallocLockWaits,
+    /// SurfaceFlinger contention: a present found another thread draining
+    /// the present queue and had to wait for its own frame to latch.
+    FlingerLockWaits,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::DiplomatCalls,
         Counter::PersonaSwitches,
         Counter::ImpersonationsBegun,
@@ -163,6 +173,9 @@ impl Counter {
         Counter::IoSurfaceUnlocks,
         Counter::Compositions,
         Counter::RowBytesTeardownSkips,
+        Counter::DeviceLockWaits,
+        Counter::GrallocLockWaits,
+        Counter::FlingerLockWaits,
     ];
 
     /// Stable kebab-case name (used in summaries and exports).
@@ -185,6 +198,9 @@ impl Counter {
             Counter::IoSurfaceUnlocks => "iosurface-unlocks",
             Counter::Compositions => "compositions",
             Counter::RowBytesTeardownSkips => "row-bytes-teardown-skips",
+            Counter::DeviceLockWaits => "device-lock-waits",
+            Counter::GrallocLockWaits => "gralloc-lock-waits",
+            Counter::FlingerLockWaits => "flinger-lock-waits",
         }
     }
 }

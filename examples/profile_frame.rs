@@ -1,0 +1,38 @@
+//! Quick wall-time profile of the bench frame loop.
+use std::time::Instant;
+
+use cycada::{AppGl, CycadaDevice};
+use cycada_gles::{GlesVersion, Primitive};
+
+fn main() {
+    let device = CycadaDevice::boot_with_display(Some((160, 120))).unwrap();
+    let app = AppGl::attach_cycada(&device, GlesVersion::V1).unwrap();
+    let tri = [-0.8f32, -0.6, 0.0, 0.8, -0.6, 0.0, 0.0, 0.9, 0.0];
+    // warm
+    app.clear(0.1, 0.25, 0.9, 1.0).unwrap();
+    app.draw(Primitive::Triangles, &tri, [0.2, 0.8, 0.3, 1.0]).unwrap();
+    app.present().unwrap();
+
+    const N: u32 = 200;
+    let t0 = Instant::now();
+    for _ in 0..N {
+        app.clear(0.1, 0.25, 0.9, 1.0).unwrap();
+    }
+    let t_clear = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..N {
+        app.draw(Primitive::Triangles, &tri, [0.2, 0.8, 0.3, 1.0]).unwrap();
+    }
+    let t_draw = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..N {
+        app.present().unwrap();
+    }
+    let t_present = t0.elapsed();
+    println!(
+        "per-frame: clear {:?}  draw {:?}  present {:?}",
+        t_clear / N,
+        t_draw / N,
+        t_present / N
+    );
+}

@@ -220,6 +220,32 @@ impl<T: ?Sized> RwLock<T> {
         RwLockWriteGuard { obj: 0, inner: ManuallyDrop::new(g) }
     }
 
+    /// Attempts to acquire shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let obj = if schedule::managed() {
+            let obj = self.obj_id();
+            schedule::point("rwlock.read.try", obj, Access::Acquire);
+            obj
+        } else {
+            0
+        };
+        self.raw_try_read()
+            .map(|g| RwLockReadGuard { obj, inner: ManuallyDrop::new(g) })
+    }
+
+    /// Attempts to acquire exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let obj = if schedule::managed() {
+            let obj = self.obj_id();
+            schedule::point("rwlock.write.try", obj, Access::Acquire);
+            obj
+        } else {
+            0
+        };
+        self.raw_try_write()
+            .map(|g| RwLockWriteGuard { obj, inner: ManuallyDrop::new(g) })
+    }
+
     /// Returns a mutable reference to the underlying data.
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)

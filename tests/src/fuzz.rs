@@ -17,8 +17,11 @@
 //!
 //! The differ asserts byte-identical canonical-RGBA framebuffers and
 //! equal per-draw fragment counts, then re-runs the diplomat path on a
-//! fresh device and asserts the metered virtual time and pixels repeat
-//! exactly (the determinism contract the figure regenerators rely on).
+//! fresh device **with command recording disabled** and asserts the
+//! metered virtual time and pixels repeat exactly — one pass checks
+//! both the determinism contract the figure regenerators rely on and
+//! the DESIGN.md §5f contract that the record-then-execute present
+//! plane is indistinguishable from immediate rasterization.
 //!
 //! Failures shrink with a ddmin-style [`shrink`] pass to a minimal
 //! script that still fails, printed in replayable form.
@@ -345,14 +348,29 @@ fn quad_arrays(rect: [f32; 4]) -> ([f32; 18], [f32; 12]) {
 }
 
 /// Runs `script` through the full diplomat path: one booted
-/// [`CycadaDevice`], one attached [`AppGl`] session per context.
+/// [`CycadaDevice`], one attached [`AppGl`] session per context, with
+/// the device's present-plane command recording left at its default
+/// (enabled).
 ///
 /// # Errors
 ///
 /// Returns a description of the first failing call.
 pub fn run_diplomat(script: &Script) -> Result<RunResult, String> {
+    run_diplomat_mode(script, true)
+}
+
+/// [`run_diplomat`] with the GPU's present-plane command recording
+/// forced on or off. Both modes must produce identical pixels, fragment
+/// counts and virtual time — [`check_script`] exercises them
+/// differentially.
+///
+/// # Errors
+///
+/// Returns a description of the first failing call.
+pub fn run_diplomat_mode(script: &Script, recording: bool) -> Result<RunResult, String> {
     let device = CycadaDevice::boot_with_display(Some((WIDTH, HEIGHT)))
         .map_err(|e| format!("boot: {e}"))?;
+    device.gpu().set_recording(recording);
     let mut apps = Vec::with_capacity(script.versions.len());
     for (i, v) in script.versions.iter().enumerate() {
         apps.push(
@@ -724,15 +742,21 @@ pub fn check_script(script: &Script) -> Result<(), String> {
             ));
         }
     }
-    // Determinism of the metered plane: a second fresh diplomat run must
-    // repeat pixels and virtual time exactly.
-    let again = run_diplomat(script).map_err(|e| format!("diplomat re-run failed: {e}"))?;
+    // Determinism of the metered plane AND record/immediate equivalence:
+    // a second fresh diplomat run with present-plane recording disabled
+    // must repeat pixels and virtual time exactly (the first run used
+    // the default record-then-execute path).
+    let again = run_diplomat_mode(script, false)
+        .map_err(|e| format!("diplomat re-run (recording off) failed: {e}"))?;
     if again.frames != diplomat.frames {
-        return Err("diplomat re-run produced different pixels".into());
+        return Err(
+            "diplomat re-run with recording disabled produced different pixels".into(),
+        );
     }
     if again.session_ns != diplomat.session_ns {
         return Err(format!(
-            "diplomat re-run metered different virtual time: {:?} vs {:?}",
+            "diplomat re-run with recording disabled metered different virtual time: \
+             recorded {:?} vs immediate {:?}",
             diplomat.session_ns, again.session_ns
         ));
     }

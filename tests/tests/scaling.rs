@@ -1,0 +1,112 @@
+//! Release-mode scaling smoke test (DESIGN.md §5f): with the parallel
+//! plane in place, four sessions driven from four host threads must beat
+//! the same frames driven back-to-back from one thread — on hosts that
+//! actually have cores to scale onto.
+//!
+//! The bound is deliberately generous (concurrent ≤ 0.75× serial, best of
+//! several repetitions) so the test catches a reintroduced device-wide
+//! serialization point without flaking on a busy CI runner. On hosts with
+//! fewer cores than sessions the speedup is physically impossible, so the
+//! test degrades to a smoke run: the workload still executes both ways
+//! (exercising the concurrent seams) but the wall-time assertion is
+//! skipped.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use cycada::{AppGl, CycadaDevice};
+use cycada_gles::{GlesVersion, Primitive};
+
+const W: u32 = 160;
+const H: u32 = 120;
+const SESSIONS: usize = 4;
+const FRAMES: u32 = 8;
+const REPS: usize = 5;
+
+fn drive_frames(app: &AppGl, frames: u32) {
+    let tri = [-0.8f32, -0.6, 0.0, 0.8, -0.6, 0.0, 0.0, 0.9, 0.0];
+    for f in 0..frames {
+        let r = (f % 5) as f32 / 5.0;
+        app.clear(r, 0.25, 1.0 - r, 1.0).unwrap();
+        app.draw(Primitive::Triangles, &tri, [r, 0.8, 0.3, 1.0]).unwrap();
+        app.present().unwrap();
+    }
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Best-of-`REPS` wall time of the N×FRAMES workload on one host thread.
+fn serial_wall(apps: &[AppGl]) -> Duration {
+    (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            for app in apps {
+                drive_frames(app, FRAMES);
+            }
+            t.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+/// Best-of-`REPS` wall time of the same workload from N host threads.
+fn concurrent_wall(apps: &mut [AppGl]) -> Duration {
+    (0..REPS)
+        .map(|_| {
+            let barrier = Barrier::new(apps.len());
+            let t = Instant::now();
+            std::thread::scope(|scope| {
+                for app in apps.iter_mut() {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        drive_frames(app, FRAMES);
+                    });
+                }
+            });
+            t.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn four_concurrent_sessions_beat_serial_on_multicore_hosts() {
+    let device = CycadaDevice::boot_with_display(Some((W, H))).unwrap();
+    let mut apps: Vec<AppGl> = (0..SESSIONS)
+        .map(|_| AppGl::attach_cycada(&device, GlesVersion::V1).unwrap())
+        .collect();
+    // Warm symbol resolution and lazy statics out of the measurement.
+    for app in &apps {
+        drive_frames(app, 1);
+    }
+
+    let serial = serial_wall(&apps);
+    let concurrent = concurrent_wall(&mut apps);
+    eprintln!(
+        "scaling smoke: serial={serial:?} concurrent={concurrent:?} \
+         ({SESSIONS} sessions x {FRAMES} frames, best of {REPS}, {} cores)",
+        host_cores()
+    );
+
+    if cfg!(debug_assertions) {
+        eprintln!("scaling smoke: debug build — wall-time assertion skipped");
+        return;
+    }
+    if host_cores() < SESSIONS {
+        eprintln!(
+            "scaling smoke: only {} cores for {SESSIONS} sessions — \
+             wall-time assertion skipped",
+            host_cores()
+        );
+        return;
+    }
+    assert!(
+        concurrent <= serial.mul_f64(0.75),
+        "{SESSIONS} concurrent sessions took {concurrent:?}, expected \
+         <= 0.75x the serial {serial:?}: a device-wide serialization \
+         point is back in the frame path"
+    );
+}
