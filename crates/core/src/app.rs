@@ -593,6 +593,23 @@ impl AppGl {
         )
     }
 
+    /// `glScissor` — sets the scissor box. Combined with enabling
+    /// [`Capability::ScissorTest`], this is the partial-redraw idiom
+    /// whose damage the compositor plane tracks (DESIGN.md §5g).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycadaError`] on bridge failures.
+    pub fn set_scissor(&self, x: i32, y: i32, w: u32, h: u32) -> Result<()> {
+        self.with_bridge_or_vendor(
+            |bridge, tid| bridge.scissor(tid, x, y, w, h),
+            |gles, tid| {
+                gles.with_current(tid, |c| c.set_scissor(x, y, w, h));
+                Ok(())
+            },
+        )
+    }
+
     /// Enables or disables a GL capability.
     ///
     /// # Errors

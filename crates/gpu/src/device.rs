@@ -179,6 +179,23 @@ impl GpuDevice {
         self.recording.load(Ordering::Relaxed)
     }
 
+    /// Enables or disables damage tracking (default on) — the
+    /// compositor plane's kill switch (DESIGN.md §5g). The gate is
+    /// process-wide (damage journals live on the shared buffers, not
+    /// on any one device); this method mirrors
+    /// [`GpuDevice::set_recording`]'s surface for callers holding a
+    /// device handle. Off forces every composition down the full
+    /// recomposition path: output bytes and metered virtual time are
+    /// identical either way, only host wall time changes.
+    pub fn set_damage_tracking(&self, on: bool) {
+        cycada_sim::damage::set_tracking(on);
+    }
+
+    /// Whether damage tracking is enabled (process-wide).
+    pub fn damage_tracking(&self) -> bool {
+        cycada_sim::damage::tracking()
+    }
+
     /// Sets how many scoped worker threads draw commands may rasterize
     /// with (default 1, i.e. serial).
     ///

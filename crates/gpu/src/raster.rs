@@ -21,6 +21,7 @@
 use crate::format::{PixelFormat, Rgba};
 use crate::image::Image;
 use crate::math::Mat4;
+use cycada_sim::damage;
 
 /// One input vertex.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +116,9 @@ pub struct Rect {
 }
 
 impl Rect {
+    /// The empty rectangle at the origin.
+    pub const EMPTY: Rect = Rect { x: 0, y: 0, w: 0, h: 0 };
+
     /// A rectangle covering a whole image.
     pub fn of_image(img: &Image) -> Rect {
         Rect {
@@ -123,6 +127,83 @@ impl Rect {
             w: img.width(),
             h: img.height(),
         }
+    }
+
+    /// `true` if the rect covers no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Number of pixels covered.
+    pub fn area(&self) -> u64 {
+        u64::from(self.w) * u64::from(self.h)
+    }
+
+    /// One-past-the-right edge (saturating, so degenerate rects near
+    /// `u32::MAX` stay well-defined instead of wrapping).
+    fn right(&self) -> u32 {
+        self.x.saturating_add(self.w)
+    }
+
+    /// One-past-the-bottom edge (saturating).
+    fn bottom(&self) -> u32 {
+        self.y.saturating_add(self.h)
+    }
+
+    /// The overlapping region of two rects; [`Rect::EMPTY`] when they
+    /// are disjoint or either operand is empty.
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x0 >= x1 || y0 >= y1 {
+            Rect::EMPTY
+        } else {
+            Rect { x: x0, y: y0, w: x1 - x0, h: y1 - y0 }
+        }
+    }
+
+    /// Bounding union of two rects (empty operands are identities).
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x0 = self.x.min(other.x);
+        let y0 = self.y.min(other.y);
+        let x1 = self.right().max(other.right());
+        let y1 = self.bottom().max(other.bottom());
+        Rect { x: x0, y: y0, w: x1 - x0, h: y1 - y0 }
+    }
+
+    /// `true` if every pixel of `other` lies inside `self` (empty rects
+    /// are contained in everything).
+    pub fn contains(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (self.x <= other.x
+                && self.y <= other.y
+                && other.right() <= self.right()
+                && other.bottom() <= self.bottom())
+    }
+
+    /// `true` if the two rects share at least one pixel.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.intersect(other).is_empty()
+    }
+}
+
+impl From<Rect> for cycada_sim::damage::DamageRect {
+    fn from(r: Rect) -> Self {
+        cycada_sim::damage::DamageRect { x: r.x, y: r.y, w: r.w, h: r.h }
+    }
+}
+
+impl From<cycada_sim::damage::DamageRect> for Rect {
+    fn from(r: cycada_sim::damage::DamageRect) -> Self {
+        Rect { x: r.x, y: r.y, w: r.w, h: r.h }
     }
 }
 
@@ -317,7 +398,17 @@ fn draw_indexed_impl(
     });
 
     let height = target.height();
-    let mut guard = target.buffer().write_guard();
+    // The union of the clipped triangle bounding boxes bounds every
+    // fragment this draw can touch — note it as the draw's damage.
+    let damage = tris.iter().fold(Rect::EMPTY, |acc, t| {
+        acc.union(&Rect {
+            x: t.min_x,
+            y: t.min_y,
+            w: t.max_x - t.min_x,
+            h: t.max_y - t.min_y,
+        })
+    });
+    let mut guard = target.buffer().write_guard_noting(damage.into());
     let bytes = &mut guard[..geom.row_bytes * height as usize];
 
     let mut bands = workers.max(1).min(height.max(1) as usize);
@@ -933,8 +1024,17 @@ pub fn blit(src: &Image, src_rect: Rect, dst: &Image, dst_rect: Rect) -> u64 {
     let srb = src.row_bytes();
     let drb = dst.row_bytes();
     let same_format = src.format() == dst.format();
+    // Damage: the note and provenance must be computed before the
+    // source bytes are read (see `blit_note`); the guard commits them
+    // after the writes land, before the destination lock releases.
+    let (note, prov) = if damage::tracking() {
+        let (n, p) = blit_note(src, src_rect, dst, dst_rect);
+        (Some(n), Some(p))
+    } else {
+        (None, None)
+    };
     let sguard = src.buffer().read_guard();
-    let mut dguard = dst.buffer().write_guard();
+    let mut dguard = dst.buffer().write_guard_with(note, prov);
 
     let swizzle_8888 = matches!(
         (src.format(), dst.format()),
@@ -991,6 +1091,160 @@ pub fn blit(src: &Image, src_rect: Rect, dst: &Image, dst_rect: Rect) -> u64 {
         }
     }
     u64::from(dst_rect.w) * u64::from(dst_rect.h)
+}
+
+/// Computes the damage note and provenance for a full-coverage blit.
+///
+/// Ordering contract: called **before** any guard on `src` is taken.
+/// The provenance's `src_version` is sampled first, so the bytes the
+/// blit then reads are at least that new and the recorded "copy of src
+/// @ version" claim can only under-state the source — which makes the
+/// next blit's delta an over-approximation, never a skip of real
+/// change.
+///
+/// When the destination's recorded provenance matches this edge (same
+/// source allocation, same rects, same gate epoch), the note shrinks
+/// from the full `dst_rect` to the source's damage delta translated
+/// into destination space (unscaled blits only; scaled blits keep the
+/// conservative full note). Any divergence of the destination from the
+/// recorded copy is itself journaled by the intervening writes, so a
+/// stale provenance record is sound — it just costs precision.
+fn blit_note(
+    src: &Image,
+    src_rect: Rect,
+    dst: &Image,
+    dst_rect: Rect,
+) -> (cycada_sim::damage::DamageRect, cycada_sim::damage::Provenance) {
+    use cycada_sim::damage::{Damage, Provenance};
+
+    let src_version = src.buffer().damage().version();
+    let prov = Provenance {
+        src: src.buffer().id(),
+        src_version,
+        src_rect: src_rect.into(),
+        dst_rect: dst_rect.into(),
+        epoch: damage::epoch(),
+    };
+    let matching = dst.buffer().damage().provenance().filter(|p| {
+        p.epoch == prov.epoch
+            && p.src == prov.src
+            && p.src_rect == prov.src_rect
+            && p.dst_rect == prov.dst_rect
+    });
+    let note = match matching {
+        Some(p) => match src.buffer().damage().damage_since(p.src_version) {
+            Damage::None => Rect::EMPTY,
+            Damage::Rect(d) if src_rect.w == dst_rect.w && src_rect.h == dst_rect.h => {
+                let d = Rect::from(d).intersect(&src_rect);
+                if d.is_empty() {
+                    Rect::EMPTY
+                } else {
+                    Rect {
+                        x: d.x - src_rect.x + dst_rect.x,
+                        y: d.y - src_rect.y + dst_rect.y,
+                        w: d.w,
+                        h: d.h,
+                    }
+                }
+            }
+            // Scaled blit or source history exhausted: full note.
+            _ => dst_rect,
+        },
+        None => dst_rect,
+    };
+    (note.into(), prov)
+}
+
+/// Writes exactly the bytes [`blit`] would write inside `clip`, with
+/// identical sampling arithmetic: `dst_rect` keeps its role as the
+/// *logical* destination (so the integer-division scale positions are
+/// unchanged) and only the pixels inside `clip ∩ dst_rect ∩ dst
+/// bounds` are touched. This is the compositor plane's clipping
+/// primitive (DESIGN.md §5g): tile-wise recomposition passes tile
+/// rects, and the flinger's panel clamp passes the panel — either way
+/// a destination rect hanging past the image edge is legal here,
+/// unlike [`blit`], which panics.
+///
+/// The clipped region is noted as damage (no provenance: a partial
+/// write is not a copy of its source). When the effective clip covers
+/// all of `dst_rect`, this *is* [`blit`] — same bytes, same note, same
+/// provenance. Returns the number of pixels written.
+///
+/// # Panics
+///
+/// Panics if `src_rect` exceeds the source image bounds.
+pub fn blit_clipped(src: &Image, src_rect: Rect, dst: &Image, dst_rect: Rect, clip: Rect) -> u64 {
+    assert!(
+        src_rect.x + src_rect.w <= src.width() && src_rect.y + src_rect.h <= src.height(),
+        "source rect out of bounds"
+    );
+    if src_rect.is_empty() || dst_rect.is_empty() {
+        return 0;
+    }
+    let eff = dst_rect.intersect(&clip).intersect(&Rect::of_image(dst));
+    if eff.is_empty() {
+        return 0;
+    }
+    if eff == dst_rect {
+        return blit(src, src_rect, dst, dst_rect);
+    }
+    if src.aliases(dst) {
+        // Same per-pixel visit order as the reference path, restricted
+        // to the clip — read-your-own-writes semantics, minus the
+        // clipped-out writes.
+        let mut written = 0;
+        for y in eff.y..eff.y + eff.h {
+            let sy = src_rect.y + (y - dst_rect.y) * src_rect.h / dst_rect.h;
+            for x in eff.x..eff.x + eff.w {
+                let sx = src_rect.x + (x - dst_rect.x) * src_rect.w / dst_rect.w;
+                let c = src.pixel_rgba(sx, sy);
+                dst.set_pixel(x, y, c);
+                written += 1;
+            }
+        }
+        return written;
+    }
+
+    let sbpp = src.format().bytes_per_pixel();
+    let dbpp = dst.format().bytes_per_pixel();
+    let srb = src.row_bytes();
+    let drb = dst.row_bytes();
+    let same_format = src.format() == dst.format();
+    let unscaled = src_rect.w == dst_rect.w && src_rect.h == dst_rect.h;
+    let sguard = src.buffer().read_guard();
+    let mut dguard = dst.buffer().write_guard_noting(eff.into());
+
+    if same_format && unscaled {
+        // Row memcpy over the clipped columns, as `blit` would emit for
+        // exactly these bytes.
+        let row_len = eff.w as usize * dbpp;
+        for dy in 0..eff.h {
+            let sy = src_rect.y + (eff.y - dst_rect.y) + dy;
+            let sx = src_rect.x + (eff.x - dst_rect.x);
+            let soff = sy as usize * srb + sx as usize * sbpp;
+            let doff = (eff.y + dy) as usize * drb + eff.x as usize * dbpp;
+            dguard[doff..doff + row_len].copy_from_slice(&sguard[soff..soff + row_len]);
+        }
+    } else {
+        for y in eff.y..eff.y + eff.h {
+            let sy = src_rect.y + (y - dst_rect.y) * src_rect.h / dst_rect.h;
+            let srow = sy as usize * srb;
+            let drow = y as usize * drb;
+            for x in eff.x..eff.x + eff.w {
+                let sx = src_rect.x + (x - dst_rect.x) * src_rect.w / dst_rect.w;
+                let soff = srow + sx as usize * sbpp;
+                let doff = drow + x as usize * dbpp;
+                if same_format {
+                    let (s, d) = (&sguard[soff..soff + sbpp], &mut dguard[doff..doff + dbpp]);
+                    d.copy_from_slice(s);
+                } else {
+                    let c = src.format().decode(&sguard[soff..soff + sbpp]);
+                    dst.format().encode(c, &mut dguard[doff..doff + dbpp]);
+                }
+            }
+        }
+    }
+    eff.area()
 }
 
 fn edge(a: [f32; 3], b: [f32; 3], p: [f32; 3]) -> f32 {

@@ -232,6 +232,93 @@ proptest! {
     }
 
     #[test]
+    fn rect_algebra_laws(
+        ax in 0u32..40, ay in 0u32..40, aw in 0u32..40, ah in 0u32..40,
+        bx in 0u32..40, by in 0u32..40, bw in 0u32..40, bh in 0u32..40,
+    ) {
+        let a = Rect { x: ax, y: ay, w: aw, h: ah };
+        let b = Rect { x: bx, y: by, w: bw, h: bh };
+        // Commutativity.
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&b).area(), b.union(&a).area());
+        // The intersection is contained in both operands; the union
+        // contains both (for empty rects containment is vacuous).
+        let i = a.intersect(&b);
+        prop_assert!(a.contains(&i) && b.contains(&i));
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a) && u.contains(&b));
+        // Empty-rect identities (degenerate rects normalize to EMPTY,
+        // so the union identity is set-equality, not structural).
+        prop_assert!(a.intersect(&Rect::EMPTY).is_empty());
+        let id = a.union(&Rect::EMPTY);
+        if a.is_empty() {
+            prop_assert!(id.is_empty());
+        } else {
+            prop_assert_eq!(id, a);
+        }
+        prop_assert!(a.contains(&Rect::EMPTY));
+        // intersects() agrees with a non-empty intersection, and
+        // area never exceeds either operand's.
+        prop_assert_eq!(a.intersects(&b), !i.is_empty());
+        prop_assert!(i.area() <= a.area() && i.area() <= b.area());
+        prop_assert!(u.area() >= a.area() && u.area() >= b.area());
+    }
+
+    #[test]
+    fn blit_clipped_matches_blit_restricted_to_clip(
+        sw in 1u32..10, sh in 1u32..10,
+        dw in 4u32..16, dh in 4u32..16,
+        rx in 0u32..16, ry in 0u32..16, rw in 1u32..16, rh in 1u32..16,
+        cx in 0u32..16, cy in 0u32..16, cw in 0u32..16, ch in 0u32..16,
+        seed: u8,
+    ) {
+        let src = Image::new(sw, sh, PixelFormat::Rgba8888);
+        for y in 0..sh {
+            for x in 0..sw {
+                src.set_pixel(x, y, Rgba::from_bytes([
+                    seed.wrapping_add((x * 29) as u8),
+                    (y * 17) as u8,
+                    (x * y) as u8,
+                    255,
+                ]));
+            }
+        }
+        let dst_rect = Rect { x: rx, y: ry, w: rw, h: rh };
+        let clip = Rect { x: cx, y: cy, w: cw, h: ch };
+        // Oracle: blit onto a copy with no bounds restriction, then keep
+        // only the pixels inside clip ∩ dst_rect ∩ image bounds.
+        let clipped = Image::new(dw, dh, PixelFormat::Rgba8888);
+        let oracle = Image::new(dw, dh, PixelFormat::Rgba8888);
+        clipped.fill(Rgba::WHITE);
+        oracle.fill(Rgba::WHITE);
+        let full = Image::new(dw, dh, PixelFormat::Rgba8888);
+        full.fill(Rgba::WHITE);
+        let eff = dst_rect.intersect(&clip).intersect(&Rect::of_image(&full));
+        if dst_rect.intersect(&Rect::of_image(&full)) == dst_rect {
+            // In-bounds dst: reference::blit then copy the eff region.
+            raster::reference::blit(&src, Rect::of_image(&src), &full, dst_rect);
+            for y in eff.y..eff.y + eff.h {
+                for x in eff.x..eff.x + eff.w {
+                    oracle.set_pixel(x, y, full.pixel_rgba(x, y));
+                }
+            }
+        } else {
+            // Out-of-bounds dst: per-pixel oracle with the same scaling
+            // arithmetic blit uses.
+            for y in eff.y..eff.y + eff.h {
+                for x in eff.x..eff.x + eff.w {
+                    let sx = (x - dst_rect.x) * sw / rw;
+                    let sy = (y - dst_rect.y) * sh / rh;
+                    oracle.set_pixel(x, y, src.pixel_rgba(sx.min(sw - 1), sy.min(sh - 1)));
+                }
+            }
+        }
+        let n = raster::blit_clipped(&src, Rect::of_image(&src), &clipped, dst_rect, clip);
+        prop_assert_eq!(n, eff.area());
+        prop_assert_eq!(clipped.to_rgba_vec(), oracle.to_rgba_vec());
+    }
+
+    #[test]
     fn fill_rect_matches_per_pixel_fill(
         w in 1u32..16, h in 1u32..16,
         x in 0u32..20, y in 0u32..20,

@@ -36,6 +36,7 @@
 mod buffer;
 pub mod check;
 mod clock;
+pub mod damage;
 pub mod intern;
 mod profile;
 mod rng;

@@ -151,11 +151,22 @@ pub enum Counter {
     /// SurfaceFlinger contention: a present found another thread draining
     /// the present queue and had to wait for its own frame to latch.
     FlingerLockWaits,
+    /// Compositor tiles skipped because no queued blit's damage
+    /// intersected them — their scanout bytes were provably already
+    /// correct (DESIGN.md §5g).
+    TilesSkippedClean,
+    /// Compositor tiles where occlusion culling dropped at least one
+    /// lower layer because a later blit fully covered the tile.
+    TilesSkippedOccluded,
+    /// Damage queries on the present path that fell back to full
+    /// damage (journal history exhausted, unprovable write set, or a
+    /// scaled blit whose source damage cannot be mapped precisely).
+    DamageFullFallbacks,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::DiplomatCalls,
         Counter::PersonaSwitches,
         Counter::ImpersonationsBegun,
@@ -176,6 +187,9 @@ impl Counter {
         Counter::DeviceLockWaits,
         Counter::GrallocLockWaits,
         Counter::FlingerLockWaits,
+        Counter::TilesSkippedClean,
+        Counter::TilesSkippedOccluded,
+        Counter::DamageFullFallbacks,
     ];
 
     /// Stable kebab-case name (used in summaries and exports).
@@ -201,6 +215,9 @@ impl Counter {
             Counter::DeviceLockWaits => "device-lock-waits",
             Counter::GrallocLockWaits => "gralloc-lock-waits",
             Counter::FlingerLockWaits => "flinger-lock-waits",
+            Counter::TilesSkippedClean => "tiles-skipped-clean",
+            Counter::TilesSkippedOccluded => "tiles-skipped-occluded",
+            Counter::DamageFullFallbacks => "damage-full-fallbacks",
         }
     }
 }
@@ -798,6 +815,19 @@ pub fn summary(events: &[TraceEvent]) -> String {
         )
         .expect("write to String cannot fail");
     }
+
+    // Typed counters ride along under the per-function rows so one
+    // export carries both planes (zero counters are elided; the order
+    // is declaration order, hence deterministic).
+    let nonzero: Vec<(&'static str, u64)> =
+        counters().into_iter().filter(|(_, v)| *v != 0).collect();
+    if !nonzero.is_empty() {
+        writeln!(out, "\n{:<40} {:>13}", "counter", "value")
+            .expect("write to String cannot fail");
+        for (name, value) in nonzero {
+            writeln!(out, "{:<40} {:>13}", name, value).expect("write to String cannot fail");
+        }
+    }
     out
 }
 
@@ -981,7 +1011,10 @@ mod tests {
         };
         let text = summary(&[mk("b", 10), mk("a", 100), mk("b", 20)]);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3, "header + two rows");
+        // Header + two rows, then (only if any process-global typed
+        // counter is nonzero) a blank line and a counter section.
+        assert!(lines.len() >= 3, "header + two rows at minimum");
+        assert!(lines.len() == 3 || lines[3].is_empty(), "counters separated by blank line");
         assert!(lines[1].starts_with('a'), "sorted by virtual total desc");
         assert!(lines[2].starts_with('b'));
         assert!(lines[2].contains("30"), "durations aggregate");

@@ -23,6 +23,12 @@
 //! the DESIGN.md §5f contract that the record-then-execute present
 //! plane is indistinguishable from immediate rasterization.
 //!
+//! A third diplomat run then disables the compositor damage plane
+//! (DESIGN.md §5g) and asserts pixels, scanout bytes, and virtual time
+//! still repeat exactly — tile-wise composition with clean/occlusion
+//! skips must be indistinguishable from full recomposition, including
+//! under the scissored partial-redraw ops the generator emits.
+//!
 //! Failures shrink with a ddmin-style [`shrink`] pass to a minimal
 //! script that still fails, printed in replayable form.
 
@@ -124,6 +130,20 @@ pub enum GlOp {
         cap: Capability,
         /// Enable or disable.
         on: bool,
+    },
+    /// `glScissor` — with `Capability::ScissorTest` toggles in the
+    /// stream this produces partial-redraw frames, the workload the
+    /// damage-tracked compositor plane must handle bit-exactly
+    /// (DESIGN.md §5g).
+    Scissor {
+        /// Box origin x.
+        x: i32,
+        /// Box origin y.
+        y: i32,
+        /// Box width.
+        w: u32,
+        /// Box height.
+        h: u32,
     },
     /// `glFlush`.
     Flush,
@@ -237,7 +257,7 @@ pub fn generate(seed: u64) -> Script {
     }
     for _ in 0..nops {
         let ctx = rng.below(nctx as u64) as usize;
-        let op = match rng.below(16) {
+        let op = match rng.below(17) {
             0 => GlOp::Clear {
                 rgba: gen_color(&mut rng),
             },
@@ -304,14 +324,26 @@ pub fn generate(seed: u64) -> Script {
                 _ => GlOp::LoadIdentity,
             },
             13 => GlOp::SetCapability {
-                cap: if rng.below(2) == 0 {
-                    Capability::Blend
-                } else {
-                    Capability::DepthTest
+                cap: match rng.below(3) {
+                    0 => Capability::Blend,
+                    1 => Capability::DepthTest,
+                    _ => Capability::ScissorTest,
                 },
                 on: rng.below(2) == 0,
             },
             14 => GlOp::Flush,
+            15 => {
+                // Partial-redraw box: small and occasionally hanging
+                // past the framebuffer edge (clamping must agree).
+                let x = rng.below(u64::from(WIDTH)) as i32 - 4;
+                let y = rng.below(u64::from(HEIGHT)) as i32 - 4;
+                GlOp::Scissor {
+                    x,
+                    y,
+                    w: 1 + rng.below(24) as u32,
+                    h: 1 + rng.below(24) as u32,
+                }
+            }
             _ => GlOp::Present,
         };
         steps.push(Step { ctx, op });
@@ -335,6 +367,9 @@ pub struct RunResult {
     pub frags: Vec<u64>,
     /// Per-context session virtual nanoseconds.
     pub session_ns: Vec<Nanos>,
+    /// Display scanout bytes after the last step (diplomat path only —
+    /// empty on the reference path, which has no compositor).
+    pub scanout: Vec<u8>,
 }
 
 fn quad_arrays(rect: [f32; 4]) -> ([f32; 18], [f32; 12]) {
@@ -368,9 +403,37 @@ pub fn run_diplomat(script: &Script) -> Result<RunResult, String> {
 ///
 /// Returns a description of the first failing call.
 pub fn run_diplomat_mode(script: &Script, recording: bool) -> Result<RunResult, String> {
+    run_diplomat_planes(script, recording, true)
+}
+
+/// [`run_diplomat_mode`] with the compositor damage plane forced on or
+/// off as well (DESIGN.md §5g). The kill switch is process-wide, so it
+/// is restored to its default (on) before returning.
+///
+/// # Errors
+///
+/// Returns a description of the first failing call.
+pub fn run_diplomat_planes(
+    script: &Script,
+    recording: bool,
+    damage_tracking: bool,
+) -> Result<RunResult, String> {
+    let result = run_diplomat_inner(script, recording, damage_tracking);
+    if !damage_tracking {
+        cycada_sim::damage::set_tracking(true);
+    }
+    result
+}
+
+fn run_diplomat_inner(
+    script: &Script,
+    recording: bool,
+    damage_tracking: bool,
+) -> Result<RunResult, String> {
     let device = CycadaDevice::boot_with_display(Some((WIDTH, HEIGHT)))
         .map_err(|e| format!("boot: {e}"))?;
     device.gpu().set_recording(recording);
+    device.gpu().set_damage_tracking(damage_tracking);
     let mut apps = Vec::with_capacity(script.versions.len());
     for (i, v) in script.versions.iter().enumerate() {
         apps.push(
@@ -426,6 +489,7 @@ pub fn run_diplomat_mode(script: &Script, recording: bool) -> Result<RunResult, 
             GlOp::PopTransform => app.pop_transform().map_err(err)?,
             GlOp::LoadIdentity => app.load_identity().map_err(err)?,
             GlOp::SetCapability { cap, on } => app.set_capability(*cap, *on).map_err(err)?,
+            GlOp::Scissor { x, y, w, h } => app.set_scissor(*x, *y, *w, *h).map_err(err)?,
             GlOp::Flush => app.flush().map_err(err)?,
             GlOp::Present => app.present().map_err(err)?,
         }
@@ -439,10 +503,15 @@ pub fn run_diplomat_mode(script: &Script, recording: bool) -> Result<RunResult, 
         );
     }
     let session_ns = apps.iter().map(AppGl::session_virtual_ns).collect();
+    let scanout = apps
+        .first()
+        .map(|app| app.display().scanout().read(|b| b.to_vec()))
+        .unwrap_or_default();
     Ok(RunResult {
         frames,
         frags,
         session_ns,
+        scanout,
     })
 }
 
@@ -689,6 +758,7 @@ pub fn run_reference(script: &Script) -> Result<RunResult, String> {
                     rc.c.disable(*cap);
                 }
             }
+            GlOp::Scissor { x, y, w, h } => rc.c.set_scissor(*x, *y, *w, *h),
             GlOp::Flush | GlOp::Present => {}
         }
     }
@@ -698,6 +768,7 @@ pub fn run_reference(script: &Script) -> Result<RunResult, String> {
         frames,
         frags,
         session_ns,
+        scanout: Vec::new(),
     })
 }
 
@@ -758,6 +829,34 @@ pub fn check_script(script: &Script) -> Result<(), String> {
             "diplomat re-run with recording disabled metered different virtual time: \
              recorded {:?} vs immediate {:?}",
             diplomat.session_ns, again.session_ns
+        ));
+    }
+    if again.scanout != diplomat.scanout {
+        return Err(
+            "diplomat re-run with recording disabled produced a different scanout".into(),
+        );
+    }
+    // Third diplomat run with the compositor damage plane disabled
+    // (DESIGN.md §5g): tile-wise composition with clean/occlusion skips
+    // must be indistinguishable — pixels, scanout bytes, and metered
+    // virtual time — from full recomposition.
+    let undamaged = run_diplomat_planes(script, true, false)
+        .map_err(|e| format!("diplomat re-run (damage off) failed: {e}"))?;
+    if undamaged.frames != diplomat.frames {
+        return Err(
+            "diplomat re-run with damage tracking disabled produced different pixels".into(),
+        );
+    }
+    if undamaged.scanout != diplomat.scanout {
+        return Err(
+            "diplomat re-run with damage tracking disabled produced a different scanout".into(),
+        );
+    }
+    if undamaged.session_ns != diplomat.session_ns {
+        return Err(format!(
+            "diplomat re-run with damage tracking disabled metered different virtual time: \
+             damage-on {:?} vs damage-off {:?}",
+            diplomat.session_ns, undamaged.session_ns
         ));
     }
     Ok(())

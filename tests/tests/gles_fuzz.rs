@@ -10,7 +10,7 @@
 //! `CYCADA_FUZZ_CASES` overrides both (the nightly long run sets it to
 //! several thousand).
 
-use cycada_gles::{GlesVersion, Primitive};
+use cycada_gles::{Capability, GlesVersion, Primitive};
 use cycada_integration::fuzz::{check_script, generate, shrink, GlOp, Script, Step};
 
 /// Base seed for the sweep; shifting it re-randomizes every case while
@@ -82,6 +82,14 @@ fn minimal_committed_script_replays_clean() {
         (0, GlOp::TexQuadIndexed { slot: 0, rect: [0.0, 0.0, 0.9, 0.9] }),
         (0, GlOp::Present),
         (1, GlOp::Present),
+        // Partial redraw: scissored clear then a second present — the
+        // damage-tracked compositor must recompose exactly this frame's
+        // dirty region (checked against the damage-off re-run).
+        (0, GlOp::SetCapability { cap: Capability::ScissorTest, on: true }),
+        (0, GlOp::Scissor { x: 8, y: 8, w: 16, h: 12 }),
+        (0, GlOp::Clear { rgba: [0.0, 1.0, 0.2, 1.0] }),
+        (0, GlOp::SetCapability { cap: Capability::ScissorTest, on: false }),
+        (0, GlOp::Present),
     ];
     let script = Script {
         versions: vec![GlesVersion::V1, GlesVersion::V2],
