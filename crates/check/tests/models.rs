@@ -746,3 +746,79 @@ fn slot_table_chunk_boundary_churn() {
         .expect("chunk-boundary churn must preserve per-slot atomicity");
     assert!(report.complete);
 }
+
+// ---------------------------------------------------------------------
+// Satellite: the charge-ledger inversion under work-stealing handoff
+// ---------------------------------------------------------------------
+
+/// A `MeterGuard` entered on one host thread and dropped on another (the
+/// shape a work-stealing pool produces when a task migrates mid-scope)
+/// reads a foreign charge ledger: the delta is meaningless. Under every
+/// interleaving the meter must never be credited a wrapped (huge) total,
+/// and whenever the handoff actually crosses threads the always-on
+/// `meter-ledger-inversions` counter must record the loss.
+#[test]
+fn meter_guard_crossing_threads_counts_inversion_never_wraps() {
+    use cycada_sim::trace::{counter, Counter};
+    use cycada_sim::{MeterGuard, SessionMeter, VirtualClock};
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let report = Checker::new()
+        .preemption_bound(2)
+        .exhaustive(|| {
+            let clock = VirtualClock::new();
+            let meter = SessionMeter::new();
+            let slot: Arc<Mutex<Option<MeterGuard>>> = Arc::new(Mutex::new(None));
+            let migrated = Arc::new(AtomicBool::new(false));
+            let (clock_a, meter_a, slot_a) = (clock.clone(), meter.clone(), slot.clone());
+            let (clock_b, slot_b, migrated_b) = (clock.clone(), slot.clone(), migrated.clone());
+            let meter_post = meter.clone();
+            let before = counter(Counter::MeterLedgerInversions);
+            Model::new()
+                .thread(move || {
+                    // Thread A charges well ahead, then opens the meter
+                    // scope and hands the live guard off. If B already
+                    // ran, the guard stays in the slot and is dropped on
+                    // A's own thread when the last Arc goes away — the
+                    // no-migration control case.
+                    clock_a.charge_ns(1_000);
+                    let guard = meter_a.enter();
+                    *slot_a.lock() = Some(guard);
+                })
+                .thread(move || {
+                    // Thread B charges a little, then (under schedules
+                    // where the handoff happened first) drops the guard
+                    // on its own ledger — behind A's start position.
+                    clock_b.charge_ns(7);
+                    let taken = slot_b.lock().take();
+                    if taken.is_some() {
+                        migrated_b.store(true, Ordering::SeqCst);
+                    }
+                    drop(taken);
+                })
+                .post(move || {
+                    // A wrapped delta would credit ~u64::MAX; any sound
+                    // outcome is bounded by the total charged anywhere.
+                    assert!(
+                        meter_post.total_ns() <= 1_007,
+                        "meter credited a wrapped ledger delta: {}",
+                        meter_post.total_ns()
+                    );
+                    // Whenever the guard really crossed threads, B's
+                    // ledger (7) sat behind A's start (1000): the
+                    // inversion must be detected and counted, and the
+                    // meter credited zero — never a clamped lie without
+                    // a trace.
+                    if migrated.load(Ordering::SeqCst) {
+                        assert_eq!(meter_post.total_ns(), 0, "inverted delta must credit zero");
+                        assert!(
+                            counter(Counter::MeterLedgerInversions) > before,
+                            "inversion clamped silently"
+                        );
+                    }
+                })
+        })
+        .expect("cross-thread guard handoff must never wrap the meter");
+    assert!(report.complete, "handoff model must be fully explored");
+}

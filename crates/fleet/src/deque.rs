@@ -1,0 +1,159 @@
+//! The injector/stealer work queues behind the fleet orchestrator.
+//!
+//! All tasks are known up-front (a fleet run is a closed batch), so the
+//! structure is simple and deadlock-free by construction: one global
+//! injector every task starts in, plus one local deque per worker.
+//! Workers pop their own deque LIFO-free front first, refill from the
+//! injector in small batches, and only then steal from a victim's back
+//! — the classic injector/stealer discipline, without an async runtime
+//! or any unsafe code. Because tasks never spawn tasks, an empty sweep
+//! over every queue is a terminal state: the worker can exit, no
+//! condvar or parked-thread wakeup protocol is needed.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use cycada_sim::trace;
+
+/// One unit of fleet work: run session `session` of the fleet plan.
+/// `home` is the worker whose local deque the task was first placed on
+/// (batch refills from the injector adopt the refilling worker as
+/// home), so a task executed elsewhere is a recorded steal.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Task {
+    pub session: usize,
+    pub home: usize,
+}
+
+/// How many tasks a worker moves from the injector to its own deque per
+/// refill. Small enough that late stragglers stay stealable, large
+/// enough that the injector lock is not hit once per task.
+const REFILL_BATCH: usize = 4;
+
+/// The fleet's work-distribution plane: a global injector plus one
+/// stealable deque per worker.
+pub(crate) struct WorkQueues {
+    injector: Mutex<VecDeque<Task>>,
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    stolen: AtomicU64,
+}
+
+impl WorkQueues {
+    /// Builds the queues for `workers` workers with every task in the
+    /// injector, in order.
+    pub fn new(workers: usize, sessions: usize) -> Self {
+        let injector = (0..sessions)
+            .map(|session| Task { session, home: usize::MAX })
+            .collect();
+        WorkQueues {
+            injector: Mutex::new(injector),
+            locals: (0..workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            stolen: AtomicU64::new(0),
+        }
+    }
+
+    /// Tasks that ran on a worker other than their home deque's owner.
+    pub fn stolen(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
+    }
+
+    /// The next task for `worker`, or `None` when the batch is fully
+    /// distributed (terminal: tasks never respawn, so the worker exits).
+    pub fn next(&self, worker: usize) -> Option<Task> {
+        // 1. Own deque, front first (the order the refill established).
+        if let Some(task) = self.locals[worker].lock().pop_front() {
+            if task.home != worker && task.home != usize::MAX {
+                self.record_steal();
+            }
+            return Some(task);
+        }
+        // 2. Refill a small batch from the injector; first task runs
+        //    now, the rest wait on the local deque (stealable).
+        {
+            let mut injector = self.injector.lock();
+            if let Some(first) = injector.pop_front() {
+                let mut local = self.locals[worker].lock();
+                for _ in 1..REFILL_BATCH {
+                    match injector.pop_front() {
+                        Some(task) => local.push_back(Task { home: worker, ..task }),
+                        None => break,
+                    }
+                }
+                return Some(Task { home: worker, ..first });
+            }
+        }
+        // 3. Steal from a victim's back, scanning round-robin from the
+        //    next worker over so contention spreads.
+        for offset in 1..self.locals.len() {
+            let victim = (worker + offset) % self.locals.len();
+            if let Some(task) = self.locals[victim].lock().pop_back() {
+                self.record_steal();
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn record_steal(&self) {
+        self.stolen.fetch_add(1, Ordering::Relaxed);
+        trace::bump(trace::Counter::FleetTasksStolen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn every_task_is_handed_out_exactly_once() {
+        let queues = WorkQueues::new(3, 100);
+        let mut seen = HashSet::new();
+        let mut worker = 0;
+        while let Some(task) = queues.next(worker) {
+            assert!(seen.insert(task.session), "task {} issued twice", task.session);
+            worker = (worker + 1) % 3;
+        }
+        assert_eq!(seen.len(), 100, "tasks lost in the queues");
+    }
+
+    #[test]
+    fn concurrent_workers_partition_the_batch() {
+        const WORKERS: usize = 4;
+        const SESSIONS: usize = 257; // not a multiple of anything relevant
+        let queues = Arc::new(WorkQueues::new(WORKERS, SESSIONS));
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let queues = queues.clone();
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(task) = queues.next(w) {
+                        mine.push(task.session);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..SESSIONS).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_victim() {
+        // Worker 0 refills its deque, then worker 1 (empty injector
+        // aside from the refilled tasks) must steal from it.
+        let queues = WorkQueues::new(2, REFILL_BATCH);
+        let first = queues.next(0).expect("injector has work");
+        assert_eq!(first.home, 0);
+        let stolen = queues.next(1).expect("victim deque has work to steal");
+        assert_eq!(stolen.home, 0, "task came off worker 0's deque");
+        assert!(queues.stolen() >= 1);
+    }
+}

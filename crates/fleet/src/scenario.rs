@@ -1,0 +1,177 @@
+//! The mixed workload scenarios a fleet session can run.
+//!
+//! Every scenario drives an attached [`AppGl`] session through the same
+//! deterministic call sequence whether it runs inside a fleet or solo on
+//! a private device, so the session plane's determinism contract
+//! (DESIGN.md §5c) carries over wholesale: per-session framebuffer bytes
+//! and metered virtual time are functions of `(scenario, seed, frames)`
+//! alone, never of fleet interleaving.
+//!
+//! Each scenario's [`setup`] ends with one warm-up frame that executes
+//! the full per-frame entry-point set, so device-global one-time costs
+//! (diplomat symbol resolution is charged once per *device*) land
+//! outside the metered scope regardless of which fleet session runs
+//! first on a device.
+
+use cycada::{AppGl, Result};
+use cycada_gles::{GlesVersion, Primitive, TexFormat};
+use cycada_workloads::pages::WebPage;
+use cycada_workloads::webkit::WebView;
+
+/// A fleet session's workload flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// PassMark-style frames: clear + rotated triangle + textured quad.
+    Passmark,
+    /// WebKit browser: a laid-out page rendered once, then scrolled.
+    Browser,
+    /// Multi-context GLES 2.0 game frame: two textures, nested
+    /// transforms, scissored sub-draws.
+    MultiGles,
+    /// Partial-update scene: a small scissored badge redraw per frame on
+    /// an otherwise static screen (the damage-tracking sweet spot).
+    PartialUpdate,
+}
+
+impl Scenario {
+    /// Every scenario, in mix order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Passmark,
+        Scenario::Browser,
+        Scenario::MultiGles,
+        Scenario::PartialUpdate,
+    ];
+
+    /// Stable name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Passmark => "passmark",
+            Scenario::Browser => "browser",
+            Scenario::MultiGles => "multi-gles",
+            Scenario::PartialUpdate => "partial-update",
+        }
+    }
+
+    /// The scenario the fleet's default round-robin mix assigns to
+    /// session `index`.
+    pub fn mix(index: usize) -> Scenario {
+        Scenario::ALL[index % Scenario::ALL.len()]
+    }
+
+    /// The GLES version the scenario's session attaches with.
+    pub fn gles_version(self) -> GlesVersion {
+        match self {
+            Scenario::MultiGles => GlesVersion::V2,
+            _ => GlesVersion::V1,
+        }
+    }
+}
+
+/// Per-session scenario state carried between frames.
+pub enum ScenarioState {
+    /// Texture name for the quad.
+    Passmark { tex: u32 },
+    /// Live web view plus the page it renders.
+    Browser { view: Box<WebView>, page: Box<WebPage> },
+    /// The two textures the game alternates between.
+    MultiGles { tex_a: u32, tex_b: u32 },
+    /// Badge texture for the scissored redraws.
+    PartialUpdate { tex: u32 },
+}
+
+/// Deterministic RGBA texel data parameterised by the session seed.
+fn texels(seed: u64, salt: u8, count: usize) -> Vec<u8> {
+    (0..count as u32)
+        .flat_map(|i| {
+            let v = (seed as u8)
+                .wrapping_mul(31)
+                .wrapping_add(salt)
+                .wrapping_add((i as u8).wrapping_mul(5));
+            [v, v ^ 0x3c, v.wrapping_add(salt), 255]
+        })
+        .collect()
+}
+
+/// Builds the scenario's session state and runs one unmetered warm-up
+/// frame (see module docs).
+pub fn setup(app: &mut AppGl, scenario: Scenario, seed: u64) -> Result<ScenarioState> {
+    let mut state = match scenario {
+        Scenario::Passmark => {
+            let tex = app.create_texture(2, 2, TexFormat::Rgba, &texels(seed, 1, 4))?;
+            ScenarioState::Passmark { tex }
+        }
+        Scenario::Browser => {
+            let mut view = Box::new(WebView::new(app)?);
+            let site = ["news", "shop", "docs", "mail"][(seed % 4) as usize];
+            let page = Box::new(WebPage::for_site(site));
+            view.render_page(app, &page)?;
+            ScenarioState::Browser { view, page }
+        }
+        Scenario::MultiGles => {
+            let tex_a = app.create_texture(4, 4, TexFormat::Rgba, &texels(seed, 2, 16))?;
+            let tex_b = app.create_texture(2, 2, TexFormat::Rgba, &texels(seed, 3, 4))?;
+            ScenarioState::MultiGles { tex_a, tex_b }
+        }
+        Scenario::PartialUpdate => {
+            let tex = app.create_texture(2, 2, TexFormat::Rgba, &texels(seed, 4, 4))?;
+            ScenarioState::PartialUpdate { tex }
+        }
+    };
+    frame(app, &mut state, seed, 0)?;
+    Ok(state)
+}
+
+/// Drives one frame of the scenario. The entry-point set is identical
+/// for every `f`; only the parameters vary, so the warm-up frame covers
+/// every symbol the metered frames resolve.
+pub fn frame(app: &mut AppGl, state: &mut ScenarioState, seed: u64, f: u32) -> Result<()> {
+    match state {
+        ScenarioState::Passmark { tex } => {
+            let tri = [-0.8f32, -0.6, 0.0, 0.8, -0.6, 0.0, 0.0, 0.9, 0.0];
+            let r = ((seed.wrapping_mul(37).wrapping_add(u64::from(f) * 11)) % 255) as f32 / 255.0;
+            app.clear(r, 0.25, 1.0 - r, 1.0)?;
+            app.rotate(((seed % 360) as f32 * 13.0 + f as f32 * 7.0) % 360.0)?;
+            app.draw(Primitive::Triangles, &tri, [r, 0.8, 0.3, 1.0])?;
+            app.draw_textured_quad(*tex, -0.5, -0.5, 0.5, 0.5)?;
+            app.present()?;
+        }
+        ScenarioState::Browser { view, page } => {
+            // Scroll through the page; the fraction cycles so long runs
+            // keep producing distinct (but deterministic) frames.
+            let frac = ((seed.wrapping_add(u64::from(f) * 7)) % 10) as f32 / 10.0;
+            view.scroll_page(app, page, frac)?;
+        }
+        ScenarioState::MultiGles { tex_a, tex_b } => {
+            let g = ((seed.wrapping_mul(29).wrapping_add(u64::from(f) * 13)) % 255) as f32 / 255.0;
+            app.clear(0.1, g, 0.3, 1.0)?;
+            // Scissored HUD redraw in one corner, then the two textured
+            // sprites under nested transforms.
+            app.set_scissor(0, 0, app.width() / 4, app.height() / 4)?;
+            app.clear(g, g, 0.0, 1.0)?;
+            app.set_scissor(0, 0, app.width(), app.height())?;
+            app.push_transform()?;
+            app.rotate(((seed % 360) as f32 * 11.0 + f as f32 * 17.0) % 360.0)?;
+            app.draw_textured_quad(*tex_a, -0.7, -0.7, 0.1, 0.1)?;
+            app.pop_transform()?;
+            app.push_transform()?;
+            app.translate(0.4, -0.2, 0.0)?;
+            app.scale(0.5, 0.5, 1.0)?;
+            app.draw_textured_quad(*tex_b, 0.0, 0.0, 0.8, 0.8)?;
+            app.pop_transform()?;
+            app.present()?;
+        }
+        ScenarioState::PartialUpdate { tex } => {
+            // Static background established by the warm-up; each frame
+            // only a small scissored badge region redraws, which is what
+            // keeps the compositor's clean-tile skips busy fleet-wide.
+            let bx = ((seed.wrapping_add(u64::from(f) * 3)) % 4) as i32 * (app.width() as i32 / 8);
+            app.set_scissor(bx, 0, app.width() / 8, app.height() / 8)?;
+            let b = ((seed.wrapping_mul(53).wrapping_add(u64::from(f) * 19)) % 255) as f32 / 255.0;
+            app.clear(1.0 - b, b, 0.5, 1.0)?;
+            app.set_scissor(0, 0, app.width(), app.height())?;
+            app.draw_textured_quad(*tex, -0.1, -0.1, 0.1, 0.1)?;
+            app.present()?;
+        }
+    }
+    Ok(())
+}

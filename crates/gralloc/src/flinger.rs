@@ -102,7 +102,18 @@ pub struct SurfaceFlinger {
     /// `try_lock`: an uncontended presenter drains its own frame
     /// synchronously, a contended one enqueues and waits.
     drain_lock: Mutex<TileGrid>,
+    /// Milliseconds the drainer waits for a claimed ticket's op to be
+    /// published before concluding the enqueuer died mid-present (it
+    /// panicked or was killed between claiming the ticket and
+    /// publishing the op) and skipping the ticket. The live publication
+    /// window is a handful of instructions, so the default is orders of
+    /// magnitude beyond any reachable stall; tests of the skip path
+    /// lower it via [`SurfaceFlinger::set_publish_deadline_ms`].
+    publish_deadline_ms: AtomicU64,
 }
+
+/// Default [`SurfaceFlinger::set_publish_deadline_ms`] value.
+const PUBLISH_DEADLINE_MS_DEFAULT: u64 = 5_000;
 
 /// One blit of a queued frame. `clip` is `dst_rect ∩ panel`, computed
 /// at enqueue: the only pixels the blit may write. `dst_rect` itself
@@ -250,7 +261,25 @@ impl SurfaceFlinger {
             present_drained: AtomicU64::new(0),
             present_queue: SlotTable::new(),
             drain_lock: Mutex::new(grid),
+            publish_deadline_ms: AtomicU64::new(PUBLISH_DEADLINE_MS_DEFAULT),
         }
+    }
+
+    /// Overrides the drainer's publication deadline. Test hook for
+    /// exercising the dead-presenter skip path without a 5 s stall; not
+    /// part of the supported API.
+    #[doc(hidden)]
+    pub fn set_publish_deadline_ms(&self, ms: u64) {
+        self.publish_deadline_ms.store(ms.max(1), Ordering::Relaxed);
+    }
+
+    /// Claims a present ticket without ever publishing an op for it —
+    /// the exact state a presenter leaves behind when it dies between
+    /// `fetch_add` and the queue publish. Test hook; not part of the
+    /// supported API.
+    #[doc(hidden)]
+    pub fn abandon_ticket_for_test(&self) -> u64 {
+        self.present_tickets.fetch_add(1, Ordering::AcqRel)
     }
 
     /// The display being composed to.
@@ -381,6 +410,17 @@ impl SurfaceFlinger {
         let mut contended = false;
         let mut backoff = Backoff::new();
         while !op.done.load(Ordering::Acquire) {
+            // If the drain loop's publication deadline expired before our
+            // op became visible, it skipped our ticket (presumed us dead
+            // — see `drain`). The frame is dropped, not wedged: reclaim
+            // the queue slot and return. All virtual-time accounting
+            // already happened at enqueue, so the ledger is unaffected.
+            if self.present_drained.load(Ordering::Acquire) > ticket
+                && !op.done.load(Ordering::Acquire)
+            {
+                self.present_queue.set(ticket, None);
+                return;
+            }
             if !contended {
                 contended = true;
                 trace::bump(trace::Counter::FlingerLockWaits);
@@ -407,18 +447,43 @@ impl SurfaceFlinger {
                     break;
                 }
                 // The ticket is claimed before the op is published; wait
-                // out the enqueuer's tiny publication window.
+                // out the enqueuer's tiny publication window. The wait is
+                // bounded: a presenter that died between claiming the
+                // ticket and publishing (panic mid-present under session
+                // teardown) would otherwise wedge every session sharing
+                // this display, so after the publication deadline the
+                // ticket is skipped and counted instead
+                // (`present-teardown-skips`). The wall deadline is armed
+                // lazily — the common published-immediately case never
+                // reads the clock.
                 let mut backoff = Backoff::new();
+                let mut waited_since: Option<std::time::Instant> = None;
                 let op = loop {
                     check::schedule_point("flinger.present", next as usize, Access::Read);
                     if let Some(op) = self.present_queue.get(next) {
-                        break op;
+                        break Some(op);
+                    }
+                    let since = *waited_since.get_or_insert_with(std::time::Instant::now);
+                    if since.elapsed().as_millis() as u64
+                        >= self.publish_deadline_ms.load(Ordering::Relaxed)
+                    {
+                        break None;
                     }
                     backoff.wait();
                 };
-                self.apply(&mut grid, &op);
-                op.done.store(true, Ordering::Release);
-                self.present_queue.set(next, None);
+                match op {
+                    Some(op) => {
+                        self.apply(&mut grid, &op);
+                        op.done.store(true, Ordering::Release);
+                        self.present_queue.set(next, None);
+                    }
+                    None => {
+                        // Enqueuer presumed dead: skip-and-count. If it
+                        // was merely stalled it detects the skip in its
+                        // own wait loop (`present`) and reclaims the slot.
+                        trace::bump(trace::Counter::PresentTeardownSkips);
+                    }
+                }
                 self.present_drained.store(next + 1, Ordering::Release);
             }
             drop(grid);
@@ -500,7 +565,16 @@ impl SurfaceFlinger {
         // Everything else is clean wholesale — skipped without even a
         // per-tile memo lookup, with the skip counters bulk-bumped
         // from the recorded touched/occluded tile counts.
+        // Audit note (present/drain hardening): `last_versions[i]` below
+        // and the `copy_from_slice` at the end of the hit branch would
+        // both panic if `last_keys` and `last_versions` ever diverged in
+        // length. They are only written together, but `reset`/`invalidate`
+        // clear `last_keys` alone — the length equality is a cross-method
+        // invariant, so the fast path checks it explicitly instead of
+        // trusting it: a mismatch is merely a memo miss (full walk), never
+        // a panic that takes the drainer down with every waiting session.
         let memo_hit = grid.last_keys.len() == blits.len()
+            && grid.last_versions.len() == blits.len()
             && grid.last_keys.iter().zip(blits.iter().enumerate()).all(|(k, (i, b))| {
                 k.src == ids[i]
                     && k.src_rect == b.src_rect
@@ -604,8 +678,13 @@ impl SurfaceFlinger {
                 }
                 let effective = &touching[start..];
 
+                // Defensive indexing: tile coordinates are derived from
+                // panel-clipped rects so `idx` is in range whenever grid
+                // and display agree on dimensions; if they ever disagree,
+                // an out-of-range tile simply has no memo (recompose) —
+                // the old `grid.tiles[idx]` panicked instead.
                 let idx = (ty * grid.cols + tx) as usize;
-                if let Some(stored) = grid.tiles[idx].as_mut() {
+                if let Some(stored) = grid.tiles.get_mut(idx).and_then(Option::as_mut) {
                     let keys_match = stored.len() == effective.len()
                         && stored.iter().zip(effective).all(|(s, &i)| {
                             s.src == ids[i]
@@ -640,18 +719,20 @@ impl SurfaceFlinger {
                         b.clip.intersect(&tile_rect),
                     );
                 }
-                grid.tiles[idx] = Some(
-                    effective
-                        .iter()
-                        .map(|&i| TileEntry {
-                            src: ids[i],
-                            src_rect: blits[i].src_rect,
-                            dst_rect: blits[i].dst_rect,
-                            clip: blits[i].clip,
-                            version: versions[i],
-                        })
-                        .collect(),
-                );
+                if let Some(slot) = grid.tiles.get_mut(idx) {
+                    *slot = Some(
+                        effective
+                            .iter()
+                            .map(|&i| TileEntry {
+                                src: ids[i],
+                                src_rect: blits[i].src_rect,
+                                dst_rect: blits[i].dst_rect,
+                                clip: blits[i].clip,
+                                version: versions[i],
+                            })
+                            .collect(),
+                    );
+                }
             }
         }
 
@@ -839,6 +920,27 @@ mod tests {
             let (x, y) = ((i as u32 % 2) * 8 + 3, (i as u32 / 2) * 8 + 3);
             assert_eq!(sf.display().pixel(x, y), color.to_bytes(), "quadrant {i}");
         }
+    }
+
+    #[test]
+    fn dead_presenter_ticket_is_skipped_not_wedged() {
+        // A presenter that dies between claiming its ticket and
+        // publishing its op used to wedge the drain loop (and with it
+        // every session sharing the display) forever. The drainer must
+        // now skip the abandoned ticket after the publication deadline,
+        // count it, and keep latching later frames.
+        let sf = flinger();
+        sf.set_publish_deadline_ms(10);
+        let before = trace::counter(trace::Counter::PresentTeardownSkips);
+        sf.abandon_ticket_for_test();
+        let frame = Image::new(8, 8, PixelFormat::Rgba8888);
+        frame.fill(Rgba::GREEN);
+        sf.post_image(&frame); // would hang before the fix
+        assert_eq!(sf.display().pixel(4, 4), [0, 255, 0, 255], "later frame still latches");
+        assert!(
+            trace::counter(trace::Counter::PresentTeardownSkips) > before,
+            "the abandoned ticket is counted"
+        );
     }
 
     #[test]

@@ -110,6 +110,96 @@ fn concurrent_churn_never_reuses_live_handles_or_leaks() {
     assert_eq!(driver.live_buffers(), 0, "churn leaked buffers");
 }
 
+#[test]
+fn sessions_torn_down_mid_present_never_wedge_or_panic() {
+    // Presenters post layered buffers through the ticketed present queue
+    // while churn threads concurrently tear sessions down around them:
+    // freeing buffers, clearing layer assignments, and reassigning the
+    // same handle ranges. Every present must latch (no wedge), nothing
+    // may panic, and the registry must end empty.
+    use cycada_gpu::{GpuDevice, Rgba};
+    use cycada_gralloc::SurfaceFlinger;
+    use cycada_kernel::Display;
+    use cycada_sim::{GpuCostModel, VirtualClock};
+
+    const PRESENTERS: usize = 4;
+    const CHURNERS: usize = 3;
+    const ROUNDS: usize = 40;
+
+    let (kernel, driver, alloc, main) = stack();
+    let gpu = Arc::new(GpuDevice::new(VirtualClock::new(), GpuCostModel::tegra3()));
+    let sf = Arc::new(SurfaceFlinger::new(Display::new(32, 32), gpu));
+
+    let presenters: Vec<_> = (0..PRESENTERS)
+        .map(|p| {
+            let tid = kernel.spawn_thread(main, Persona::Android).unwrap();
+            let alloc = alloc.clone();
+            let sf = sf.clone();
+            thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    // A short-lived session: allocate, assign a layer,
+                    // present a few frames, tear everything down. The
+                    // teardown of this session races the presents of
+                    // every other session sharing the flinger.
+                    let buf = alloc.allocate(tid, 8, 8, PixelFormat::Rgba8888).unwrap();
+                    buf.lock_cpu().unwrap();
+                    buf.image().fill(Rgba::RED);
+                    buf.unlock_cpu().unwrap();
+                    let rect = cycada_gpu::raster::Rect {
+                        x: (p as u32 % 2) * 16,
+                        y: (p as u32 / 2) * 16,
+                        w: 16,
+                        h: 16,
+                    };
+                    sf.assign_layer(buf.handle(), rect);
+                    for _ in 0..3 {
+                        sf.post_buffer(&buf);
+                    }
+                    sf.clear_layer(buf.handle());
+                    alloc.free(tid, buf.handle()).unwrap();
+                    // Interleave shapes across rounds.
+                    if round % 8 == p % 8 {
+                        thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let churners: Vec<_> = (0..CHURNERS)
+        .map(|c| {
+            let tid = kernel.spawn_thread(main, Persona::Android).unwrap();
+            let alloc = alloc.clone();
+            let sf = sf.clone();
+            thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let buf = alloc
+                        .allocate(tid, 1 + (round % 4) as u32, 4, PixelFormat::Rgba8888)
+                        .unwrap();
+                    // Assign and immediately clear a layer for a handle
+                    // that presenters may race reads of.
+                    sf.assign_layer(
+                        buf.handle(),
+                        cycada_gpu::raster::Rect { x: c as u32, y: c as u32, w: 4, h: 4 },
+                    );
+                    sf.clear_layer(buf.handle());
+                    alloc.free(tid, buf.handle()).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    for join in presenters.into_iter().chain(churners) {
+        join.join().expect("a thread panicked under mid-present teardown");
+    }
+    assert_eq!(
+        sf.display().frames_presented(),
+        (PRESENTERS * ROUNDS * 3) as u64,
+        "every present latched despite concurrent teardown"
+    );
+    assert_eq!(driver.live_buffers(), 0, "teardown churn leaked buffers");
+}
+
 proptest! {
     // Each case spawns real threads; a few dozen cases keeps the suite
     // fast while still exploring script shapes.

@@ -131,9 +131,32 @@ pub struct ClockGuard {
     start: Nanos,
 }
 
+/// Delta between two positions of a host thread's charge ledger.
+///
+/// The ledger is monotonic on its own thread, so `now < start` proves the
+/// span or guard migrated host threads between creation and observation
+/// (e.g. a work-stealing pool moved the task mid-scope): the delta is
+/// meaningless, and crediting the raw wrapped difference would be
+/// catastrophic. Bump the always-on `meter-ledger-inversions` counter so
+/// the loss is observable, then credit zero — previously this was a bare
+/// `saturating_sub` that zeroed the delta silently.
+fn ledger_delta(start: Nanos, now: Nanos) -> Nanos {
+    match now.checked_sub(start) {
+        Some(delta) => delta,
+        None => {
+            crate::trace::bump(crate::trace::Counter::MeterLedgerInversions);
+            0
+        }
+    }
+}
+
 impl ClockGuard {
     /// Virtual nanoseconds elapsed since the span started.
     pub fn elapsed_ns(&self) -> Nanos {
+        // The shared clock is monotonic from every thread (fetch_add
+        // only), so unlike the per-thread ledger spans below this
+        // difference cannot invert; saturating_sub is only belt and
+        // braces against a future non-monotonic clock.
         self.clock.now_ns().saturating_sub(self.start)
     }
 
@@ -164,8 +187,13 @@ pub struct ThreadSpan {
 
 impl ThreadSpan {
     /// Virtual nanoseconds charged by this thread since the span started.
+    ///
+    /// Reading the span on a different host thread than the one that
+    /// created it yields a meaningless delta; such an inversion is
+    /// detected and counted (`meter-ledger-inversions`), and reported
+    /// as zero.
     pub fn elapsed_ns(&self) -> Nanos {
-        VirtualClock::thread_charged_ns().saturating_sub(self.start)
+        ledger_delta(self.start, VirtualClock::thread_charged_ns())
     }
 }
 
@@ -272,13 +300,17 @@ impl MeterGuard {
     /// Nanoseconds charged by this thread since the scope opened (not yet
     /// credited to the meter — that happens on drop).
     pub fn pending_ns(&self) -> Nanos {
-        VirtualClock::thread_charged_ns().saturating_sub(self.start)
+        ledger_delta(self.start, VirtualClock::thread_charged_ns())
     }
 }
 
 impl Drop for MeterGuard {
     fn drop(&mut self) {
-        self.meter.add_ns(VirtualClock::thread_charged_ns().saturating_sub(self.start));
+        // A guard dropped on a different host thread than the one that
+        // entered the meter has crossed a work-stealing boundary; its
+        // scoped charges are unattributable. ledger_delta counts the
+        // inversion and credits zero rather than a wrapped total.
+        self.meter.add_ns(ledger_delta(self.start, VirtualClock::thread_charged_ns()));
         crate::trace::pop_meter_scope();
     }
 }
@@ -418,6 +450,52 @@ mod tests {
         }
         assert_eq!(outer.total_ns(), 14);
         assert_eq!(inner.total_ns(), 7);
+    }
+
+    #[test]
+    fn guard_dropped_on_foreign_thread_counts_inversion_not_wraparound() {
+        use crate::trace::{counter, Counter};
+        let clock = VirtualClock::new();
+        let meter = SessionMeter::new();
+        let before = counter(Counter::MeterLedgerInversions);
+        // Enter the meter on a thread whose ledger is well ahead, then
+        // drop the guard on a fresh thread whose ledger is behind the
+        // guard's start position: the exact shape fleet-scale work
+        // stealing produces when a task migrates mid-scope.
+        let guard = thread::spawn(move || {
+            clock.charge_ns(10_000);
+            meter.enter()
+        })
+        .join()
+        .unwrap();
+        let meter = guard.meter.clone();
+        thread::spawn(move || {
+            assert_eq!(guard.pending_ns(), 0, "inverted delta reads as zero");
+            drop(guard);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(meter.total_ns(), 0, "no wrapped credit");
+        assert!(
+            counter(Counter::MeterLedgerInversions) >= before + 2,
+            "pending_ns and drop each detect the inversion"
+        );
+    }
+
+    #[test]
+    fn thread_span_read_on_foreign_thread_counts_inversion() {
+        use crate::trace::{counter, Counter};
+        let clock = VirtualClock::new();
+        let before = counter(Counter::MeterLedgerInversions);
+        let span = thread::spawn(move || {
+            clock.charge_ns(5_000);
+            clock.thread_span()
+        })
+        .join()
+        .unwrap();
+        let elapsed = thread::spawn(move || span.elapsed_ns()).join().unwrap();
+        assert_eq!(elapsed, 0);
+        assert!(counter(Counter::MeterLedgerInversions) > before);
     }
 
     #[test]

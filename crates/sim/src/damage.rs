@@ -172,6 +172,35 @@ struct JournalState {
     provenance: Option<Provenance>,
 }
 
+/// Collapses the journal's two oldest entries into their bounding union,
+/// keeping history contiguous when it exceeds [`MAX_ENTRIES`].
+///
+/// A journal at the overflow threshold always holds at least two entries;
+/// if that shape is ever violated (a corrupted or externally mutated
+/// history under fleet-scale churn), the merge must not panic — a panic
+/// here takes down every session in the process. Instead it falls back to
+/// conservative full damage: retained history is discarded and the floor
+/// rises to `next`, so every pending query answers [`Damage::Full`]
+/// (over-approximate, always sound), and the always-on
+/// `damage-merge-fallbacks` counter records the event.
+fn merge_oldest(st: &mut JournalState, next: u64) {
+    let a = match st.entries.pop_front() {
+        Some(a) => a,
+        None => return merge_fallback(st, next),
+    };
+    match st.entries.front_mut() {
+        Some(b) => b.rect = a.rect.union(&b.rect),
+        None => merge_fallback(st, next),
+    }
+}
+
+#[cold]
+fn merge_fallback(st: &mut JournalState, next: u64) {
+    crate::trace::bump(crate::trace::Counter::DamageMergeFallbacks);
+    st.entries.clear();
+    st.floor = next;
+}
+
 /// A versioned, bounded history of write regions for one allocation.
 ///
 /// See the [module docs](self) for the contract. All methods are
@@ -235,10 +264,7 @@ impl DamageJournal {
                 }
                 st.entries.push_back(Entry { upto: next, rect: r });
                 if st.entries.len() > MAX_ENTRIES {
-                    // Merge the two oldest entries; history stays contiguous.
-                    let a = st.entries.pop_front().expect("len > MAX_ENTRIES");
-                    let b = st.entries.front_mut().expect("len was >= 2");
-                    b.rect = a.rect.union(&b.rect);
+                    merge_oldest(&mut st, next);
                 }
             }
         }
@@ -361,6 +387,61 @@ mod tests {
             Damage::Full => {}
             Damage::None => panic!("writes lost"),
         }
+    }
+
+    #[test]
+    fn degenerate_overflow_merge_falls_back_to_full_without_panicking() {
+        use crate::trace::{counter, Counter};
+        // Construct the offending merge shapes directly: a journal state
+        // that reaches the overflow merge with fewer than two retained
+        // entries. The old code panicked on the unwrap/expect; the fix
+        // answers conservative Full and counts the fallback.
+        let before = counter(Counter::DamageMergeFallbacks);
+
+        // Zero entries at merge time.
+        let mut st = JournalState::default();
+        merge_oldest(&mut st, 7);
+        assert!(st.entries.is_empty());
+        assert_eq!(st.floor, 7, "floor rises so queries answer Full");
+
+        // One entry at merge time.
+        let mut st = JournalState::default();
+        st.entries.push_back(Entry { upto: 3, rect: r(1, 1, 2, 2) });
+        merge_oldest(&mut st, 9);
+        assert!(st.entries.is_empty());
+        assert_eq!(st.floor, 9);
+
+        assert_eq!(
+            counter(Counter::DamageMergeFallbacks),
+            before + 2,
+            "each degenerate merge is counted"
+        );
+
+        // A journal whose floor rose this way answers Full, never None:
+        // the fallback loses precision but not writes.
+        let j = DamageJournal::new();
+        j.commit(Some(r(0, 0, 4, 4)), None);
+        {
+            let mut st = j.state.lock();
+            let next = j.version.load(Ordering::Relaxed);
+            merge_fallback(&mut st, next);
+        }
+        assert_eq!(j.damage_since(0), Damage::Full);
+    }
+
+    #[test]
+    fn healthy_overflow_merge_never_hits_the_fallback() {
+        use crate::trace::{counter, Counter};
+        let before = counter(Counter::DamageMergeFallbacks);
+        let j = DamageJournal::new();
+        for i in 0..(MAX_ENTRIES as u32 * 4) {
+            j.commit(Some(r(i * 10, 0, 1, 1)), None);
+        }
+        assert_eq!(
+            counter(Counter::DamageMergeFallbacks),
+            before,
+            "the ordinary overflow path merges without falling back"
+        );
     }
 
     #[test]

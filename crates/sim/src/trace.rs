@@ -162,11 +162,34 @@ pub enum Counter {
     /// damage (journal history exhausted, unprovable write set, or a
     /// scaled blit whose source damage cannot be mapped precisely).
     DamageFullFallbacks,
+    /// Journal overflow merges that found a degenerate history shape
+    /// (fewer than two entries at the overflow threshold) and fell back
+    /// to conservative full damage instead of panicking. Always on:
+    /// every bump is a journal whose bounded-history invariant was
+    /// violated, answered soundly.
+    DamageMergeFallbacks,
+    /// Charge-ledger deltas observed to run backwards: a `ThreadSpan`
+    /// or `MeterGuard` was read or dropped on a different host thread
+    /// than the one that created it, making its ledger delta
+    /// meaningless. Always on — each bump is a metered span whose
+    /// virtual time was silently lost (credited as zero).
+    MeterLedgerInversions,
+    /// Present tickets the drain loop gave up waiting on: the enqueuer
+    /// claimed a ticket but never published its op within the
+    /// publication deadline (it panicked or was killed mid-present).
+    /// The frame is dropped and counted instead of wedging every other
+    /// session sharing the device.
+    PresentTeardownSkips,
+    /// Fleet tasks executed by a worker other than the one they were
+    /// initially queued on (work-stealing migrations).
+    FleetTasksStolen,
+    /// Fleet tasks that finished after their per-task wall deadline.
+    FleetDeadlineMisses,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 28] = [
         Counter::DiplomatCalls,
         Counter::PersonaSwitches,
         Counter::ImpersonationsBegun,
@@ -190,6 +213,11 @@ impl Counter {
         Counter::TilesSkippedClean,
         Counter::TilesSkippedOccluded,
         Counter::DamageFullFallbacks,
+        Counter::DamageMergeFallbacks,
+        Counter::MeterLedgerInversions,
+        Counter::PresentTeardownSkips,
+        Counter::FleetTasksStolen,
+        Counter::FleetDeadlineMisses,
     ];
 
     /// Stable kebab-case name (used in summaries and exports).
@@ -218,6 +246,11 @@ impl Counter {
             Counter::TilesSkippedClean => "tiles-skipped-clean",
             Counter::TilesSkippedOccluded => "tiles-skipped-occluded",
             Counter::DamageFullFallbacks => "damage-full-fallbacks",
+            Counter::DamageMergeFallbacks => "damage-merge-fallbacks",
+            Counter::MeterLedgerInversions => "meter-ledger-inversions",
+            Counter::PresentTeardownSkips => "present-teardown-skips",
+            Counter::FleetTasksStolen => "fleet-tasks-stolen",
+            Counter::FleetDeadlineMisses => "fleet-deadline-misses",
         }
     }
 }
