@@ -19,6 +19,7 @@ use cycada_gles::{
 use cycada_gpu::math::Mat4;
 use cycada_gpu::Image;
 use cycada_kernel::{Display, SimTid};
+use cycada_sim::replay::{self, f32_arg, f64_arg, i32_arg, op};
 use cycada_sim::{stats::FunctionStats, trace, Nanos, Platform, VirtualClock};
 
 use crate::eagl::EaglContextId;
@@ -397,6 +398,9 @@ impl AppGl {
         let kernel = self.kernel();
         let cost = kernel.profile().cpu_cost(base_ns);
         kernel.clock().charge_ns_f64(cost);
+        if replay::active() {
+            replay::record(op::CHARGE_CPU, &[f64_arg(base_ns)], &[]);
+        }
     }
 
     /// The shared virtual clock.
@@ -590,7 +594,15 @@ impl AppGl {
                 });
                 Ok(())
             },
-        )
+        )?;
+        if replay::active() {
+            replay::record(
+                op::CLEAR,
+                &[f32_arg(r), f32_arg(g), f32_arg(b), f32_arg(a)],
+                &[],
+            );
+        }
+        Ok(())
     }
 
     /// `glScissor` — sets the scissor box. Combined with enabling
@@ -607,7 +619,15 @@ impl AppGl {
                 gles.with_current(tid, |c| c.set_scissor(x, y, w, h));
                 Ok(())
             },
-        )
+        )?;
+        if replay::active() {
+            replay::record(
+                op::SCISSOR,
+                &[i32_arg(x), i32_arg(y), u64::from(w), u64::from(h)],
+                &[],
+            );
+        }
+        Ok(())
     }
 
     /// Enables or disables a GL capability.
@@ -628,7 +648,11 @@ impl AppGl {
                 gles.with_current(tid, |c| if on { c.enable(cap) } else { c.disable(cap) });
                 Ok(())
             },
-        )
+        )?;
+        if replay::active() {
+            replay::record(op::CAPABILITY, &[u64::from(cap.code()), u64::from(on)], &[]);
+        }
+        Ok(())
     }
 
     fn current_mvp(&self) -> Mat4 {
@@ -651,6 +675,9 @@ impl AppGl {
                 },
             )?;
         }
+        if replay::active() {
+            replay::record(op::PUSH, &[], &[]);
+        }
         Ok(())
     }
 
@@ -672,6 +699,9 @@ impl AppGl {
                 },
             )?;
         }
+        if replay::active() {
+            replay::record(op::POP, &[], &[]);
+        }
         Ok(())
     }
 
@@ -692,7 +722,11 @@ impl AppGl {
                 },
             ),
             GlesVersion::V2 => self.upload_mvp(),
+        }?;
+        if replay::active() {
+            replay::record(op::ROTATE, &[f32_arg(degrees)], &[]);
         }
+        Ok(())
     }
 
     /// Translates (maps to `glTranslatef` on v1).
@@ -712,7 +746,11 @@ impl AppGl {
                 },
             ),
             GlesVersion::V2 => self.upload_mvp(),
+        }?;
+        if replay::active() {
+            replay::record(op::TRANSLATE, &[f32_arg(x), f32_arg(y), f32_arg(z)], &[]);
         }
+        Ok(())
     }
 
     /// Scales (maps to `glScalef` on v1).
@@ -732,7 +770,11 @@ impl AppGl {
                 },
             ),
             GlesVersion::V2 => self.upload_mvp(),
+        }?;
+        if replay::active() {
+            replay::record(op::SCALE, &[f32_arg(x), f32_arg(y), f32_arg(z)], &[]);
         }
+        Ok(())
     }
 
     /// Resets the transform to identity.
@@ -751,7 +793,11 @@ impl AppGl {
                 },
             ),
             GlesVersion::V2 => self.upload_mvp(),
+        }?;
+        if replay::active() {
+            replay::record(op::IDENTITY, &[], &[]);
         }
+        Ok(())
     }
 
     fn upload_mvp(&self) -> Result<()> {
@@ -774,7 +820,7 @@ impl AppGl {
     /// Returns [`CycadaError`] on bridge failures.
     pub fn draw(&self, mode: Primitive, xyz: &[f32], color: [f32; 4]) -> Result<u64> {
         let count = xyz.len() / 3;
-        match self.version {
+        let frags = match self.version {
             GlesVersion::V1 => self.with_bridge_or_vendor(
                 |bridge, tid| {
                     bridge.color4f(tid, color[0], color[1], color[2], color[3])?;
@@ -806,7 +852,25 @@ impl AppGl {
                     },
                 )
             }
+        }?;
+        if replay::active() {
+            let mut payload = Vec::with_capacity(xyz.len() * 4);
+            for v in xyz {
+                payload.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            replay::record(
+                op::DRAW,
+                &[
+                    u64::from(mode.code()),
+                    f32_arg(color[0]),
+                    f32_arg(color[1]),
+                    f32_arg(color[2]),
+                    f32_arg(color[3]),
+                ],
+                &payload,
+            );
         }
+        Ok(frags)
     }
 
     /// Creates a texture from tightly packed pixel data.
@@ -821,7 +885,7 @@ impl AppGl {
         format: TexFormat,
         data: &[u8],
     ) -> Result<u32> {
-        self.with_bridge_or_vendor(
+        let tex = self.with_bridge_or_vendor(
             |bridge, tid| {
                 let tex = bridge.gen_textures(tid, 1)?[0];
                 bridge.bind_texture(tid, tex)?;
@@ -836,7 +900,17 @@ impl AppGl {
                     tex
                 }))
             },
-        )
+        )?;
+        if replay::active() {
+            // The returned name rides along so replay can map recorded
+            // names onto whatever this run's allocator hands out.
+            replay::record(
+                op::CREATE_TEXTURE,
+                &[u64::from(w), u64::from(h), u64::from(format.code()), u64::from(tex)],
+                data,
+            );
+        }
+        Ok(tex)
     }
 
     /// Updates a texture sub-region (the WebKit tile-update path).
@@ -867,7 +941,22 @@ impl AppGl {
                 });
                 Ok(())
             },
-        )
+        )?;
+        if replay::active() {
+            replay::record(
+                op::UPDATE_TEXTURE,
+                &[
+                    u64::from(tex),
+                    u64::from(x),
+                    u64::from(y),
+                    u64::from(w),
+                    u64::from(h),
+                    u64::from(format.code()),
+                ],
+                data,
+            );
+        }
+        Ok(())
     }
 
     /// Draws a textured quad covering `[x0,y0]..[x1,y1]` in NDC.
@@ -888,7 +977,7 @@ impl AppGl {
             x0, y0, 0.0, x1, y0, 0.0, x1, y1, 0.0, x0, y0, 0.0, x1, y1, 0.0, x0, y1, 0.0,
         ];
         let uv = [0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0];
-        match self.version {
+        let frags = match self.version {
             GlesVersion::V1 => self.with_bridge_or_vendor(
                 |bridge, tid| {
                     bridge.bind_texture(tid, tex)?;
@@ -940,7 +1029,15 @@ impl AppGl {
                     },
                 )
             }
+        }?;
+        if replay::active() {
+            replay::record(
+                op::TEX_QUAD,
+                &[u64::from(tex), f32_arg(x0), f32_arg(y0), f32_arg(x1), f32_arg(y1)],
+                &[],
+            );
         }
+        Ok(frags)
     }
 
     /// Draws a textured quad via `glDrawElements` (the WebKit tile
@@ -960,7 +1057,7 @@ impl AppGl {
         let xyz = [x0, y0, 0.0, x1, y0, 0.0, x1, y1, 0.0, x0, y1, 0.0];
         let uv = [0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
         let indices = [0u32, 1, 2, 0, 2, 3];
-        match self.version {
+        let frags = match self.version {
             GlesVersion::V1 => self.with_bridge_or_vendor(
                 |bridge, tid| {
                     bridge.bind_texture(tid, tex)?;
@@ -1012,7 +1109,15 @@ impl AppGl {
                     },
                 )
             }
+        }?;
+        if replay::active() {
+            replay::record(
+                op::TEX_QUAD_INDEXED,
+                &[u64::from(tex), f32_arg(x0), f32_arg(y0), f32_arg(x1), f32_arg(y1)],
+                &[],
+            );
         }
+        Ok(frags)
     }
 
     /// Sets the simulated GPU cost class (2D vector work vs 3D geometry)
@@ -1026,6 +1131,9 @@ impl AppGl {
         };
         if let Some(gles) = gles {
             gles.set_draw_class(self.tid, class);
+        }
+        if replay::active() {
+            replay::record(op::DRAW_CLASS, &[u64::from(class.code())], &[]);
         }
     }
 
@@ -1041,7 +1149,11 @@ impl AppGl {
                 gles.flush(tid);
                 Ok(())
             },
-        )
+        )?;
+        if replay::active() {
+            replay::record(op::FLUSH, &[], &[]);
+        }
+        Ok(())
     }
 
     /// Deletes textures (interposed on the Cycada path, §6.1).
@@ -1056,7 +1168,15 @@ impl AppGl {
                 gles.delete_textures(tid, names);
                 Ok(())
             },
-        )
+        )?;
+        if replay::active() {
+            let mut payload = Vec::with_capacity(names.len() * 4);
+            for n in names {
+                payload.extend_from_slice(&n.to_le_bytes());
+            }
+            replay::record(op::DELETE_TEXTURES, &[], &payload);
+        }
+        Ok(())
     }
 
     /// `glGetString(GL_EXTENSIONS)` as the app sees it.
@@ -1065,10 +1185,14 @@ impl AppGl {
     ///
     /// Returns [`CycadaError`] on bridge failures.
     pub fn extensions(&self) -> Result<Option<String>> {
-        self.with_bridge_or_vendor(
+        let s = self.with_bridge_or_vendor(
             |bridge, tid| bridge.get_string(tid, StringName::Extensions),
             |gles, tid| Ok(gles.get_string(tid, StringName::Extensions)),
-        )
+        )?;
+        if replay::active() {
+            replay::record(op::EXTENSIONS, &[], &[]);
+        }
+        Ok(s)
     }
 
     /// Assigns this app's window a SurfaceFlinger layer rectangle:
@@ -1094,7 +1218,20 @@ impl AppGl {
                 .set_surface_layer(*surface, rect)
                 .map_err(CycadaError::from)?),
             Backend::NativeIos { .. } => Ok(()),
+        }?;
+        if replay::active() {
+            replay::record(
+                op::DISPLAY_LAYER,
+                &[
+                    u64::from(rect.x),
+                    u64::from(rect.y),
+                    u64::from(rect.w),
+                    u64::from(rect.h),
+                ],
+                &[],
+            );
         }
+        Ok(())
     }
 
     /// Presents the frame to the display.
@@ -1116,7 +1253,15 @@ impl AppGl {
             Backend::NativeIos {
                 device, eagl_ctx, ..
             } => device.stack().present_renderbuffer(self.tid, *eagl_ctx),
+        }?;
+        if replay::active() {
+            // The post-present digest rides along as the expected value
+            // replay checks each frame against. Hashing is a pure byte
+            // read — it never touches the clock, so recording stays
+            // invisible to session accounting.
+            replay::record(op::PRESENT, &[self.render_hash().unwrap_or(0)], &[]);
         }
+        Ok(())
     }
 }
 

@@ -29,17 +29,22 @@
 //! fields (attach/frame latency, throughput, efficiency) vary between
 //! runs — those are the measurements, not the simulation.
 
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cycada::{AppGl, CycadaDevice};
+use cycada_replay::{replay_on_device, ReplayOptions};
+use cycada_sim::replay::Stream;
 use cycada_sim::{trace, Nanos, SimRng};
 
 mod deque;
 pub mod metrics;
-mod scenario;
 
+pub use cycada_workloads::scenario::{
+    frame as scenario_frame, setup as scenario_setup, Scenario, ScenarioState,
+};
 pub use metrics::{determinism_digest, fleet_json, percentiles, report_json, Percentiles};
-pub use scenario::{frame as scenario_frame, setup as scenario_setup, Scenario, ScenarioState};
 
 use deque::WorkQueues;
 
@@ -65,6 +70,19 @@ pub struct FleetConfig {
     /// deadline miss (`fleet-deadline-misses`). Misses are reported,
     /// never enforced by abort — determinism forbids cancelling work.
     pub deadline_ns: u64,
+    /// The fifth scenario kind (`replay:<path>`): when set, every task
+    /// replays this recorded trace instead of drawing from the scripted
+    /// scenario mix. See [`FleetConfig::with_scenario_spec`].
+    pub replay: Option<ReplayTask>,
+}
+
+/// A recorded `.cyt` trace fanned out as fleet load.
+#[derive(Debug, Clone)]
+pub struct ReplayTask {
+    /// Report label (the trace file stem, e.g. `"passmark"`).
+    pub label: String,
+    /// The decoded call stream, shared by every task.
+    pub stream: Arc<Stream>,
 }
 
 impl FleetConfig {
@@ -85,6 +103,36 @@ impl FleetConfig {
             seed: 0xC1CADA,
             display: (48, 32),
             deadline_ns: 2_000_000_000,
+            replay: None,
+        }
+    }
+
+    /// Resolves a scenario spec. `"mix"` (or `""`) keeps the scripted
+    /// four-scenario mix; `"replay:<path>"` — the fifth scenario kind —
+    /// loads a recorded `.cyt` trace and fans it out to every session,
+    /// adopting the recording's display size so digests stay comparable.
+    pub fn with_scenario_spec(mut self, spec: &str) -> Result<FleetConfig, String> {
+        match spec {
+            "" | "mix" => {
+                self.replay = None;
+                Ok(self)
+            }
+            _ => {
+                let path = spec.strip_prefix("replay:").ok_or_else(|| {
+                    format!("unknown scenario spec {spec:?} (expected \"mix\" or \"replay:<path>\")")
+                })?;
+                let bytes = std::fs::read(path)
+                    .map_err(|e| format!("reading replay trace {path}: {e}"))?;
+                let stream = Stream::decode(&bytes)
+                    .map_err(|e| format!("decoding replay trace {path}: {e}"))?;
+                let label = Path::new(path)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.to_owned());
+                self.display = (stream.meta.width, stream.meta.height);
+                self.replay = Some(ReplayTask { label, stream: Arc::new(stream) });
+                Ok(self)
+            }
         }
     }
 
@@ -206,6 +254,9 @@ impl FleetReport {
 /// Runs one fleet task: attach, set up, drive metered frames, tear the
 /// session down (drop). Runs entirely on the calling worker thread.
 fn run_task(cfg: &FleetConfig, devices: &[CycadaDevice], index: usize) -> Result<SessionOutcome, String> {
+    if let Some(task) = &cfg.replay {
+        return run_replay_task(cfg, devices, index, task);
+    }
     let device_idx = session_device(index, devices.len());
     let scenario = Scenario::mix(index);
     let seed = session_seed(cfg.seed, index);
@@ -247,6 +298,41 @@ fn run_task(cfg: &FleetConfig, devices: &[CycadaDevice], index: usize) -> Result
         virtual_ns,
         attach_wall_ns,
         frame_wall_ns,
+        deadline_missed,
+    })
+}
+
+/// Runs one replay task: attach a fresh session to the shared device and
+/// re-drive the recorded trace through it. Digest checks stay on — every
+/// session must reproduce the recording's frames byte-for-byte — but
+/// per-call timestamp checks are off: device-global warm-up costs land
+/// on whichever session touches a symbol first, shifting per-call
+/// charge points on shared devices (the same relaxation the scripted
+/// mix gets from its unmetered warm-up frame).
+fn run_replay_task(
+    cfg: &FleetConfig,
+    devices: &[CycadaDevice],
+    index: usize,
+    task: &ReplayTask,
+) -> Result<SessionOutcome, String> {
+    let device_idx = session_device(index, devices.len());
+    let seed = session_seed(cfg.seed, index);
+    let started = Instant::now();
+    let outcome = replay_on_device(&devices[device_idx], &task.stream, &ReplayOptions::digests_only())
+        .map_err(|e| format!("session {index} (replay:{}): {e}", task.label))?;
+    let deadline_missed = started.elapsed().as_nanos() as u64 > cfg.deadline_ns;
+    if deadline_missed {
+        trace::bump(trace::Counter::FleetDeadlineMisses);
+    }
+    Ok(SessionOutcome {
+        session: index,
+        device: device_idx,
+        scenario: Scenario::Replay,
+        seed,
+        fb_hash: outcome.digest,
+        virtual_ns: outcome.metered_ns,
+        attach_wall_ns: outcome.attach_wall_ns,
+        frame_wall_ns: outcome.present_wall_ns,
         deadline_missed,
     })
 }

@@ -53,6 +53,36 @@ pub enum Primitive {
     TriangleFan,
 }
 
+impl Primitive {
+    /// Stable wire code (replay-plane `.cyt` streams; raw enum order is
+    /// not a serialization format).
+    pub fn code(self) -> u8 {
+        match self {
+            Primitive::Points => 0,
+            Primitive::Lines => 1,
+            Primitive::LineStrip => 2,
+            Primitive::LineLoop => 3,
+            Primitive::Triangles => 4,
+            Primitive::TriangleStrip => 5,
+            Primitive::TriangleFan => 6,
+        }
+    }
+
+    /// Inverse of [`Primitive::code`].
+    pub fn from_code(code: u8) -> Option<Primitive> {
+        match code {
+            0 => Some(Primitive::Points),
+            1 => Some(Primitive::Lines),
+            2 => Some(Primitive::LineStrip),
+            3 => Some(Primitive::LineLoop),
+            4 => Some(Primitive::Triangles),
+            5 => Some(Primitive::TriangleStrip),
+            6 => Some(Primitive::TriangleFan),
+            _ => None,
+        }
+    }
+}
+
 /// Texture/pixel-transfer formats the simulated stack understands.
 ///
 /// `Bgra` is the Apple-favoured format (`APPLE_texture_format_BGRA8888`);
@@ -77,6 +107,27 @@ impl TexFormat {
             TexFormat::Rgba | TexFormat::Bgra => 4,
             TexFormat::Rgb565 => 2,
             TexFormat::Alpha => 1,
+        }
+    }
+
+    /// Stable wire code (replay-plane `.cyt` streams).
+    pub fn code(self) -> u8 {
+        match self {
+            TexFormat::Rgba => 0,
+            TexFormat::Bgra => 1,
+            TexFormat::Rgb565 => 2,
+            TexFormat::Alpha => 3,
+        }
+    }
+
+    /// Inverse of [`TexFormat::code`].
+    pub fn from_code(code: u8) -> Option<TexFormat> {
+        match code {
+            0 => Some(TexFormat::Rgba),
+            1 => Some(TexFormat::Bgra),
+            2 => Some(TexFormat::Rgb565),
+            3 => Some(TexFormat::Alpha),
+            _ => None,
         }
     }
 
@@ -112,6 +163,29 @@ pub enum Capability {
     ScissorTest,
     /// 2D texturing (v1 fixed function).
     Texture2D,
+}
+
+impl Capability {
+    /// Stable wire code (replay-plane `.cyt` streams).
+    pub fn code(self) -> u8 {
+        match self {
+            Capability::Blend => 0,
+            Capability::DepthTest => 1,
+            Capability::ScissorTest => 2,
+            Capability::Texture2D => 3,
+        }
+    }
+
+    /// Inverse of [`Capability::code`].
+    pub fn from_code(code: u8) -> Option<Capability> {
+        match code {
+            0 => Some(Capability::Blend),
+            1 => Some(Capability::DepthTest),
+            2 => Some(Capability::ScissorTest),
+            3 => Some(Capability::Texture2D),
+            _ => None,
+        }
+    }
 }
 
 /// Client-side array kinds toggled by `glEnableClientState` (v1 only).

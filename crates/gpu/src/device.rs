@@ -37,6 +37,25 @@ pub enum DrawClass {
     ThreeD,
 }
 
+impl DrawClass {
+    /// Stable wire code (replay-plane `.cyt` streams).
+    pub fn code(self) -> u8 {
+        match self {
+            DrawClass::TwoD => 0,
+            DrawClass::ThreeD => 1,
+        }
+    }
+
+    /// Inverse of [`DrawClass::code`].
+    pub fn from_code(code: u8) -> Option<DrawClass> {
+        match code {
+            0 => Some(DrawClass::TwoD),
+            1 => Some(DrawClass::ThreeD),
+            _ => None,
+        }
+    }
+}
+
 /// Counters describing everything the device has executed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GpuStats {

@@ -1,0 +1,34 @@
+//! Regenerates every committed corpus trace under `tests/corpus/`.
+//!
+//! Run after any intentional behaviour change that shifts corpus digests
+//! or timings, then review and commit the diff:
+//!
+//! ```text
+//! cargo run -p cycada-replay --bin record_corpus --release
+//! ```
+
+use cycada_replay::{corpus, replay_stream, ReplayOptions};
+
+fn main() {
+    let dir = corpus::dir();
+    std::fs::create_dir_all(&dir).expect("create tests/corpus");
+    for entry in &corpus::ENTRIES {
+        let stream = corpus::record_entry(entry)
+            .unwrap_or_else(|e| panic!("recording {} failed: {e}", entry.file));
+        // Never commit a trace that does not replay clean under the full
+        // contract (byte-identical frames, nanosecond-identical time).
+        replay_stream(&stream, &ReplayOptions::default())
+            .unwrap_or_else(|e| panic!("{} does not replay clean: {e}", entry.file));
+        let bytes = stream.encode();
+        let path = corpus::path(entry);
+        std::fs::write(&path, &bytes)
+            .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+        println!(
+            "{:18} {:6} calls {:8} bytes  seed {:#x}",
+            entry.file,
+            stream.calls.len(),
+            bytes.len(),
+            entry.seed
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The committed regression corpus (`tests/corpus/*.cyt`).
+//!
+//! One trace per non-replay scenario, recorded by
+//! `cargo run -p cycada-replay --bin record_corpus --release` and
+//! committed. CI replays every file with full checks
+//! (byte-identical frames, nanosecond-identical virtual time), so any
+//! change that shifts the simulation's observable behaviour shows up as
+//! a corpus diff that must be regenerated and reviewed — the corpus is
+//! a golden-file lock on the whole stack below the app facade.
+
+use std::path::PathBuf;
+
+use cycada_workloads::scenario::Scenario;
+
+use crate::record_scenario;
+use cycada_sim::replay::Stream;
+
+/// One committed corpus trace: the scenario and parameters it was
+/// recorded from, and the file it lives in.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// File name under [`dir`].
+    pub file: &'static str,
+    /// Scenario the trace was recorded from.
+    pub scenario: Scenario,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Metered frames recorded.
+    pub frames: u32,
+    /// Display size the recording device booted with.
+    pub display: (u32, u32),
+}
+
+/// Every committed corpus trace. Seeds are arbitrary but fixed; frame
+/// count and display match the fleet test fixtures so corpus digests
+/// stay comparable with `solo_outcome` baselines.
+pub const ENTRIES: [CorpusEntry; 6] = [
+    CorpusEntry {
+        file: "passmark.cyt",
+        scenario: Scenario::Passmark,
+        seed: 0xA11CE,
+        frames: 4,
+        display: (48, 32),
+    },
+    CorpusEntry {
+        file: "browser.cyt",
+        scenario: Scenario::Browser,
+        seed: 0xB0B,
+        frames: 4,
+        display: (48, 32),
+    },
+    CorpusEntry {
+        file: "multi-gles.cyt",
+        scenario: Scenario::MultiGles,
+        seed: 0xCAFE,
+        frames: 4,
+        display: (48, 32),
+    },
+    CorpusEntry {
+        file: "partial-update.cyt",
+        scenario: Scenario::PartialUpdate,
+        seed: 0xDECAF,
+        frames: 4,
+        display: (48, 32),
+    },
+    CorpusEntry {
+        file: "asset-churn.cyt",
+        scenario: Scenario::AssetChurn,
+        seed: 0x5EED5,
+        frames: 4,
+        display: (48, 32),
+    },
+    CorpusEntry {
+        file: "context-loss.cyt",
+        scenario: Scenario::ContextLoss,
+        seed: 0xF00D,
+        frames: 4,
+        display: (48, 32),
+    },
+];
+
+/// The corpus directory (`tests/corpus/` at the workspace root).
+pub fn dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Absolute path of one corpus entry's `.cyt` file.
+pub fn path(entry: &CorpusEntry) -> PathBuf {
+    dir().join(entry.file)
+}
+
+/// Records one corpus entry from scratch (does not touch the file).
+pub fn record_entry(entry: &CorpusEntry) -> Result<Stream, String> {
+    record_scenario(entry.scenario, entry.seed, entry.frames, entry.display)
+}

@@ -1,0 +1,150 @@
+//! Property tests for the `.cyt` codec (DESIGN.md §5i).
+//!
+//! The codec invariants: `decode` inverts `encode` exactly on any valid
+//! stream; any truncation of a valid file is a typed error; arbitrary
+//! corruption — header or body, single bytes or whole files of junk —
+//! never panics; and the magic/version gates reject foreign or
+//! future-format files up front.
+
+use proptest::prelude::*;
+
+use cycada_replay::{platform_from_code, CodecError, ReplayCall, ReplayStream, StreamMeta};
+
+/// A strategy yielding structurally valid streams: every call's name
+/// index points into the string table, arg counts fit `u16`, payloads
+/// are modest so the all-prefixes truncation sweep stays fast.
+fn stream_strategy() -> impl Strategy<Value = ReplayStream> {
+    (
+        0u8..4,                                          // platform code
+        1u8..=2,                                         // gles
+        (1u32..128, 1u32..128),                          // display
+        any::<u64>(),                                    // seed
+        prop::collection::vec("[a-z:-]{1,12}", 1..6),    // names
+        prop::collection::vec(
+            (
+                0u32..6,                                 // name index (clamped below)
+                any::<u64>(),                            // vts
+                prop::collection::vec(any::<u64>(), 0..6),
+                prop::collection::vec(any::<u8>(), 0..32),
+            ),
+            0..10,
+        ),
+    )
+        .prop_map(|(plat, gles, (w, h), seed, names, raw_calls)| {
+            let n = names.len() as u32;
+            let calls = raw_calls
+                .into_iter()
+                .map(|(name, vts, args, payload)| ReplayCall {
+                    name: name % n,
+                    vts,
+                    args,
+                    payload,
+                })
+                .collect();
+            ReplayStream {
+                meta: StreamMeta {
+                    platform: platform_from_code(plat).expect("codes 0..4 are valid"),
+                    gles,
+                    width: w,
+                    height: h,
+                    seed,
+                    label: names[0].clone(),
+                },
+                names,
+                calls,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode ∘ encode is the identity on valid streams.
+    #[test]
+    fn encode_decode_round_trips(stream in stream_strategy()) {
+        let bytes = stream.encode();
+        let decoded = ReplayStream::decode(&bytes).expect("valid stream must decode");
+        prop_assert_eq!(decoded, stream);
+    }
+
+    /// Every strict prefix of a valid file is a typed error — a
+    /// truncated trace can never decode, and never panics.
+    #[test]
+    fn every_truncation_is_an_error(stream in stream_strategy()) {
+        let bytes = stream.encode();
+        for len in 0..bytes.len() {
+            prop_assert!(
+                ReplayStream::decode(&bytes[..len]).is_err(),
+                "prefix of {len}/{} bytes decoded successfully",
+                bytes.len()
+            );
+        }
+    }
+
+    /// Flipping arbitrary bytes of a valid file never panics: decode
+    /// either still succeeds (the flip hit a don't-care bit) or returns
+    /// a typed error.
+    #[test]
+    fn corruption_never_panics(
+        stream in stream_strategy(),
+        flips in prop::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = stream.encode();
+        for (pos, val) in flips {
+            let at = pos % bytes.len();
+            bytes[at] = val;
+        }
+        let _ = ReplayStream::decode(&bytes);
+    }
+
+    /// Pure junk never panics either.
+    #[test]
+    fn junk_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ReplayStream::decode(&bytes);
+    }
+
+    /// A wrong magic is rejected up front as [`CodecError::BadMagic`].
+    #[test]
+    fn wrong_magic_is_rejected(stream in stream_strategy(), first in any::<u8>()) {
+        let mut bytes = stream.encode();
+        bytes[0] = first.wrapping_add(bytes[0]).wrapping_add(1);
+        prop_assert!(matches!(
+            ReplayStream::decode(&bytes),
+            Err(CodecError::BadMagic)
+        ));
+    }
+
+    /// A future format version is rejected as [`CodecError::Version`] —
+    /// replayers never guess at formats they don't know.
+    #[test]
+    fn future_version_is_rejected(stream in stream_strategy()) {
+        let mut bytes = stream.encode();
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        prop_assert!(matches!(
+            ReplayStream::decode(&bytes),
+            Err(CodecError::Version { found: 0xFFFF })
+        ));
+    }
+}
+
+/// An out-of-table name index is a decode error, not a later panic.
+#[test]
+fn out_of_table_name_index_is_rejected() {
+    let stream = ReplayStream {
+        meta: StreamMeta {
+            platform: platform_from_code(2).expect("CycadaIos"),
+            gles: 1,
+            width: 8,
+            height: 8,
+            seed: 7,
+            label: "bad-index".to_owned(),
+        },
+        names: vec!["only".to_owned()],
+        calls: vec![ReplayCall { name: 9, vts: 0, args: vec![], payload: vec![] }],
+    };
+    match ReplayStream::decode(&stream.encode()) {
+        Err(CodecError::BadNameIndex { call: 0, index: 9 }) => {}
+        other => panic!("expected BadNameIndex, got {other:?}"),
+    }
+}

@@ -39,6 +39,7 @@ mod clock;
 pub mod damage;
 pub mod intern;
 mod profile;
+pub mod replay;
 mod rng;
 pub mod slots;
 pub mod stats;

@@ -1,4 +1,4 @@
-//! The mixed workload scenarios a fleet session can run.
+//! The mixed workload scenarios a fleet or replay session can run.
 //!
 //! Every scenario drives an attached [`AppGl`] session through the same
 //! deterministic call sequence whether it runs inside a fleet or solo on
@@ -13,10 +13,11 @@
 //! outside the metered scope regardless of which fleet session runs
 //! first on a device.
 
-use cycada::{AppGl, Result};
+use cycada::{AppGl, CycadaError, Result};
 use cycada_gles::{GlesVersion, Primitive, TexFormat};
-use cycada_workloads::pages::WebPage;
-use cycada_workloads::webkit::WebView;
+
+use crate::pages::WebPage;
+use crate::webkit::WebView;
 
 /// A fleet session's workload flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,15 +32,39 @@ pub enum Scenario {
     /// Partial-update scene: a small scissored badge redraw per frame on
     /// an otherwise static screen (the damage-tracking sweet spot).
     PartialUpdate,
+    /// Texture-streaming / asset-upload churn: every frame uploads a new
+    /// texture, mutates the oldest surviving one, draws the newest
+    /// assets, and retires the oldest (the NSBundle asset-loading axis).
+    AssetChurn,
+    /// Background/foreground context loss: every frame the app loses its
+    /// textures (backgrounded), reloads them (foregrounded), and redraws
+    /// the full scene.
+    ContextLoss,
+    /// A recorded `.cyt` call stream replayed through the same entry
+    /// points (`cycada-replay` drives it; [`setup`]/[`frame`] reject it).
+    Replay,
 }
 
 impl Scenario {
-    /// Every scenario, in mix order.
+    /// The scenarios in the fleet's default round-robin mix. Kept at the
+    /// original four so mix-dependent results (BENCH_fleet.json, solo
+    /// parity fixtures) stay stable; the corpus list below is the
+    /// superset new workloads join.
     pub const ALL: [Scenario; 4] = [
         Scenario::Passmark,
         Scenario::Browser,
         Scenario::MultiGles,
         Scenario::PartialUpdate,
+    ];
+
+    /// Every recordable scenario, in corpus order (tests/corpus/).
+    pub const CORPUS: [Scenario; 6] = [
+        Scenario::Passmark,
+        Scenario::Browser,
+        Scenario::MultiGles,
+        Scenario::PartialUpdate,
+        Scenario::AssetChurn,
+        Scenario::ContextLoss,
     ];
 
     /// Stable name used in reports.
@@ -49,6 +74,9 @@ impl Scenario {
             Scenario::Browser => "browser",
             Scenario::MultiGles => "multi-gles",
             Scenario::PartialUpdate => "partial-update",
+            Scenario::AssetChurn => "asset-churn",
+            Scenario::ContextLoss => "context-loss",
+            Scenario::Replay => "replay",
         }
     }
 
@@ -61,7 +89,7 @@ impl Scenario {
     /// The GLES version the scenario's session attaches with.
     pub fn gles_version(self) -> GlesVersion {
         match self {
-            Scenario::MultiGles => GlesVersion::V2,
+            Scenario::MultiGles | Scenario::AssetChurn => GlesVersion::V2,
             _ => GlesVersion::V1,
         }
     }
@@ -70,13 +98,57 @@ impl Scenario {
 /// Per-session scenario state carried between frames.
 pub enum ScenarioState {
     /// Texture name for the quad.
-    Passmark { tex: u32 },
+    Passmark {
+        /// The quad texture.
+        tex: u32,
+    },
     /// Live web view plus the page it renders.
-    Browser { view: Box<WebView>, page: Box<WebPage> },
+    Browser {
+        /// The rendering web view.
+        view: Box<WebView>,
+        /// The laid-out page being scrolled.
+        page: Box<WebPage>,
+    },
     /// The two textures the game alternates between.
-    MultiGles { tex_a: u32, tex_b: u32 },
+    MultiGles {
+        /// First sprite texture.
+        tex_a: u32,
+        /// Second sprite texture.
+        tex_b: u32,
+    },
     /// Badge texture for the scissored redraws.
-    PartialUpdate { tex: u32 },
+    PartialUpdate {
+        /// The badge texture.
+        tex: u32,
+    },
+    /// Texture-streaming state.
+    AssetChurn {
+        /// Ring of live streamed assets, oldest first.
+        ring: Vec<u32>,
+        /// Textures ever created (salts each upload's content).
+        created: u32,
+    },
+    /// Background/foreground churn state.
+    ContextLoss {
+        /// Textures of the current foreground generation.
+        texs: Vec<u32>,
+        /// Reload generation counter (each reload uploads fresh content).
+        generation: u32,
+    },
+}
+
+impl std::fmt::Debug for ScenarioState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            ScenarioState::Passmark { .. } => "Passmark",
+            ScenarioState::Browser { .. } => "Browser",
+            ScenarioState::MultiGles { .. } => "MultiGles",
+            ScenarioState::PartialUpdate { .. } => "PartialUpdate",
+            ScenarioState::AssetChurn { .. } => "AssetChurn",
+            ScenarioState::ContextLoss { .. } => "ContextLoss",
+        };
+        f.debug_struct("ScenarioState").field("scenario", &label).finish()
+    }
 }
 
 /// Deterministic RGBA texel data parameterised by the session seed.
@@ -115,6 +187,30 @@ pub fn setup(app: &mut AppGl, scenario: Scenario, seed: u64) -> Result<ScenarioS
         Scenario::PartialUpdate => {
             let tex = app.create_texture(2, 2, TexFormat::Rgba, &texels(seed, 4, 4))?;
             ScenarioState::PartialUpdate { tex }
+        }
+        Scenario::AssetChurn => {
+            let mut ring = Vec::with_capacity(4);
+            for slot in 0..3u32 {
+                ring.push(app.create_texture(
+                    4,
+                    4,
+                    TexFormat::Rgba,
+                    &texels(seed, 10 + slot as u8, 16),
+                )?);
+            }
+            ScenarioState::AssetChurn { ring, created: 3 }
+        }
+        Scenario::ContextLoss => {
+            let texs = vec![
+                app.create_texture(2, 2, TexFormat::Rgba, &texels(seed, 20, 4))?,
+                app.create_texture(2, 2, TexFormat::Rgba, &texels(seed, 21, 4))?,
+            ];
+            ScenarioState::ContextLoss { texs, generation: 0 }
+        }
+        Scenario::Replay => {
+            return Err(CycadaError::UnsupportedPlatform(
+                "the replay scenario is driven by cycada-replay, not scripted".to_owned(),
+            ));
         }
     };
     frame(app, &mut state, seed, 0)?;
@@ -170,6 +266,63 @@ pub fn frame(app: &mut AppGl, state: &mut ScenarioState, seed: u64, f: u32) -> R
             app.clear(1.0 - b, b, 0.5, 1.0)?;
             app.set_scissor(0, 0, app.width(), app.height())?;
             app.draw_textured_quad(*tex, -0.1, -0.1, 0.1, 0.1)?;
+            app.present()?;
+        }
+        ScenarioState::AssetChurn { ring, created } => {
+            // Stream one new asset in, mutate the oldest survivor, draw
+            // the three newest, retire the oldest. The live set stays at
+            // three so every frame (warm-up included) exercises the same
+            // entry-point set: create, update, clear, quads, delete,
+            // present.
+            let salt = 10u8.wrapping_add((*created % 23) as u8);
+            let tex = app.create_texture(4, 4, TexFormat::Rgba, &texels(seed, salt, 16))?;
+            *created += 1;
+            ring.push(tex);
+            let oldest = ring[0];
+            app.update_texture(
+                oldest,
+                1,
+                1,
+                2,
+                2,
+                TexFormat::Rgba,
+                &texels(seed, salt ^ 0x55, 4),
+            )?;
+            let c = ((seed.wrapping_mul(41).wrapping_add(u64::from(f) * 23)) % 255) as f32 / 255.0;
+            app.clear(0.05, c, 0.2, 1.0)?;
+            let n = ring.len();
+            for (i, t) in ring[n - 3..].iter().enumerate() {
+                let x = -0.8 + i as f32 * 0.6 + (f % 3) as f32 * 0.05;
+                app.draw_textured_quad(*t, x, -0.4, x + 0.5, 0.4)?;
+            }
+            let dead = ring.remove(0);
+            app.delete_textures(&[dead])?;
+            app.present()?;
+        }
+        ScenarioState::ContextLoss { texs, generation } => {
+            // Backgrounded: the app loses its GL assets. Foregrounded:
+            // reload everything and repaint the whole screen. Doing the
+            // full cycle every frame keeps the entry-point set constant
+            // and makes this the allocator-churn worst case the asset
+            // planes have to survive.
+            app.delete_textures(texs)?;
+            *generation += 1;
+            let g = (*generation % 100) as u8;
+            *texs = vec![
+                app.create_texture(2, 2, TexFormat::Rgba, &texels(seed, g.wrapping_mul(2), 4))?,
+                app.create_texture(
+                    2,
+                    2,
+                    TexFormat::Rgba,
+                    &texels(seed, g.wrapping_mul(2).wrapping_add(1), 4),
+                )?,
+            ];
+            let r = ((seed.wrapping_mul(59).wrapping_add(u64::from(f) * 31)) % 255) as f32 / 255.0;
+            app.clear(r, 0.1, 1.0 - r, 1.0)?;
+            let tri = [-0.6f32, -0.5, 0.0, 0.6, -0.5, 0.0, 0.0, 0.7, 0.0];
+            app.draw(Primitive::Triangles, &tri, [0.9, r, 0.2, 1.0])?;
+            app.draw_textured_quad(texs[0], -0.8, -0.8, -0.3, -0.3)?;
+            app.draw_textured_quad(texs[1], 0.3, 0.3, 0.8, 0.8)?;
             app.present()?;
         }
     }
